@@ -1,0 +1,318 @@
+// Benchmark harness: one testing.B target per table/figure of the LEQA
+// paper (DESIGN.md §4 maps each experiment to its target).
+//
+//	go test -bench=. -benchmem            # quick set
+//	go test -bench=Table -benchtime=1x    # exactly one run per benchmark row
+//	go test -bench=Full -benchtime=1x     # all 18 rows incl. gf2^256mult
+//
+// BenchmarkTable2/LEQA/* and /QSPR/* time the two tools per workload (the
+// Table 3 runtime columns); the accuracy comparison itself is asserted in
+// TestTable2Accuracy below so `go test` alone validates the reproduction.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/qspr"
+	"repro/internal/stats"
+)
+
+// quickSuite is the benchmark subset used by default bench runs; the full
+// 18-row suite (incl. the 983k-op gf2^256mult) runs under -bench=Full.
+var quickSuite = []string{
+	"8bitadder", "gf2^16mult", "hwb15ps", "ham15", "hwb20ps", "mod1048576adder",
+}
+
+// ftCache avoids regenerating circuits across benchmark iterations.
+var ftCache = map[string]*circuit.Circuit{}
+
+func ftCircuit(tb testing.TB, name string) *circuit.Circuit {
+	if c, ok := ftCache[name]; ok {
+		return c
+	}
+	c, err := benchgen.GenerateFT(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ftCache[name] = c
+	return c
+}
+
+// BenchmarkTable2 times LEQA (the estimator) per benchmark — the left half
+// of Table 3's runtime columns and the inputs to Table 2.
+func BenchmarkTable2(b *testing.B) {
+	p := fabric.Default()
+	for _, name := range quickSuite {
+		c := ftCircuit(b, name)
+		b.Run("LEQA/"+sanitize(name), func(b *testing.B) {
+			est, err := core.New(p, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("QSPR/"+sanitize(name), func(b *testing.B) {
+			m, err := qspr.New(p, qspr.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Map(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Full runs both tools over ALL 18 paper benchmarks and
+// reports the speedup per row as a custom metric — the full Table 3.
+// Use -benchtime=1x; the largest row maps ~1M operations.
+func BenchmarkTable3Full(b *testing.B) {
+	p := fabric.Default()
+	for _, name := range benchgen.Names() {
+		name := name
+		b.Run(sanitize(name), func(b *testing.B) {
+			c := ftCircuit(b, name)
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunCircuit(c, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(row.Speedup, "speedup")
+				b.ReportMetric(row.ErrorPct, "err%")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5QueueModel times the M/M/1 evaluation (Eq. 8–11) — the
+// Figure 5 model on its own.
+func BenchmarkFigure5QueueModel(b *testing.B) {
+	p := fabric.Default()
+	est, err := core.New(p, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := ftCircuit(b, "gf2^16mult")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTruncation compares the estimator with the paper's 20-term
+// truncation against the exact all-Q evaluation (the Eq. 4 runtime claim).
+func BenchmarkTruncation(b *testing.B) {
+	p := fabric.Default()
+	c := ftCircuit(b, "mod1048576adder")
+	for _, cfg := range []struct {
+		name  string
+		trunc int
+	}{{"20terms", 0}, {"exact", -1}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			est, err := core.New(p, core.Options{Truncation: cfg.trunc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingLEQA measures LEQA runtime vs operation count on the gf2
+// family — the §4.2 claim that LEQA scales ~linearly.
+func BenchmarkScalingLEQA(b *testing.B) {
+	p := fabric.Default()
+	for _, n := range []int{16, 32, 64, 128} {
+		name := fmt.Sprintf("gf2^%dmult", n)
+		b.Run(sanitize(name), func(b *testing.B) {
+			c := ftCircuit(b, name)
+			est, err := core.New(p, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingQSPR is the matching sweep for the detailed mapper (the
+// §4.2 superlinear-scaling side).
+func BenchmarkScalingQSPR(b *testing.B) {
+	p := fabric.Default()
+	for _, n := range []int{16, 32, 64, 128} {
+		name := fmt.Sprintf("gf2^%dmult", n)
+		b.Run(sanitize(name), func(b *testing.B) {
+			c := ftCircuit(b, name)
+			m, err := qspr.New(p, qspr.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Map(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate times the benchmark generators themselves.
+func BenchmarkGenerate(b *testing.B) {
+	for _, name := range []string{"gf2^64mult", "hwb50ps", "mod1048576adder"} {
+		b.Run(sanitize(name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := benchgen.GenerateFT(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTable2Accuracy is the headline reproduction check: on the quick
+// suite, LEQA's estimate must land within 35% of this repository's QSPR on
+// every benchmark and within 12% on average (the paper reports 2.11% avg /
+// 8.29% max against its own mapper; our from-scratch mapper tracks the
+// estimator less tightly on the high-degree gf2 family — see
+// EXPERIMENTS.md).
+func TestTable2Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run skipped in -short mode")
+	}
+	p := fabric.Default()
+	var errs []float64
+	for _, name := range quickSuite {
+		row, err := experiments.RunCircuit(ftCircuit(t, name), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-17s actual=%.3fs est=%.3fs err=%.2f%%",
+			name, row.ActualSec, row.EstimateSec, row.ErrorPct)
+		if row.ErrorPct > 35 {
+			t.Errorf("%s: error %.2f%% exceeds 35%%", name, row.ErrorPct)
+		}
+		errs = append(errs, row.ErrorPct)
+	}
+	if mean := stats.Mean(errs); mean > 12 {
+		t.Errorf("mean error %.2f%% exceeds 12%%", mean)
+	}
+}
+
+// TestSpeedupGrowsWithSize checks Table 3's qualitative claim: the
+// LEQA-over-QSPR speedup increases with operation count.
+func TestSpeedupGrowsWithSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run skipped in -short mode")
+	}
+	p := fabric.Default()
+	small, err := experiments.RunCircuit(ftCircuit(t, "8bitadder"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := experiments.RunCircuit(ftCircuit(t, "gf2^50mult"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("speedup: %s %.1fx -> %s %.1fx", small.Name, small.Speedup, big.Name, big.Speedup)
+	if big.Speedup <= small.Speedup {
+		t.Errorf("speedup did not grow: %.1fx (822 ops) vs %.1fx (37k ops)",
+			small.Speedup, big.Speedup)
+	}
+}
+
+// TestExperimentReportsRender smoke-tests every table/figure renderer so a
+// formatting regression cannot hide until someone runs the binary.
+func TestExperimentReportsRender(t *testing.T) {
+	p := fabric.Default()
+	var sb strings.Builder
+	experiments.Table1(&sb, p)
+	experiments.Figure1(&sb)
+	if err := experiments.Figure2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	experiments.Figure3(&sb, p)
+	experiments.Figure4(&sb, p)
+	experiments.Figure5(&sb, p, 850)
+	for _, want := range []string{"d_CNOT", "ULB", "ham3", "P=", "q=", "uncongested"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered reports missing %q", want)
+		}
+	}
+	rows := []experiments.Row{
+		{Name: "8bitadder", Qubits: 24, Operations: 822, ActualSec: 1.6,
+			EstimateSec: 1.66, ErrorPct: 3.1, QSPRRuntime: 1e6, LEQARuntime: 1e5, Speedup: 10},
+		{Name: "gf2^16mult", Qubits: 48, Operations: 3885, ActualSec: 4.4,
+			EstimateSec: 4.5, ErrorPct: 1.4, QSPRRuntime: 3e6, LEQARuntime: 2e5, Speedup: 15},
+	}
+	var tb strings.Builder
+	experiments.Table2(&tb, rows)
+	experiments.Table3(&tb, rows)
+	if err := experiments.Extrapolation(&tb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "Shor-1024") {
+		t.Error("extrapolation report missing Shor-1024 line")
+	}
+}
+
+// TestAblationsRender smoke-tests the ablation reports end to end on tiny
+// inputs.
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	p := fabric.Default()
+	checks := []func(io.Writer) error{
+		func(w io.Writer) error { return experiments.AblationTruncation(w, "8bitadder", p) },
+		func(w io.Writer) error { return experiments.AblationCongestion(w, []string{"8bitadder"}, p) },
+		func(w io.Writer) error { return experiments.AblationPlacement(w, []string{"8bitadder"}, p) },
+		func(w io.Writer) error { return experiments.AblationMeeting(w, []string{"8bitadder"}, p) },
+		func(w io.Writer) error { return experiments.AblationTSPBound(w, 7) },
+		func(w io.Writer) error { return experiments.AblationChannelCapacity(w, "8bitadder", p) },
+		func(w io.Writer) error { return experiments.FabricSizeSweep(w, "8bitadder", p, []int{4, 10, 60}) },
+	}
+	for i, f := range checks {
+		var sb strings.Builder
+		if err := f(&sb); err != nil {
+			t.Errorf("ablation %d: %v", i, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("ablation %d rendered nothing", i)
+		}
+	}
+}
+
+func sanitize(name string) string {
+	return strings.NewReplacer("^", "_", "/", "_").Replace(name)
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

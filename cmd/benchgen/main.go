@@ -1,0 +1,62 @@
+// Command benchgen emits a benchmark circuit as a .qc netlist on stdout or
+// to a file.
+//
+// Usage:
+//
+//	benchgen [-o out.qc] [-ft] <benchmark-name>
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out  = flag.String("o", "", "output file (default stdout)")
+		ft   = flag.Bool("ft", false, "lower to the fault-tolerant gate set")
+		list = flag.Bool("list", false, "list the paper's benchmark names and stats")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Printf("%-17s %8s %10s\n", "name", "pQubits", "pOps")
+		for _, name := range benchgen.Names() {
+			p := benchgen.Paper[name]
+			fmt.Printf("%-17s %8d %10d\n", name, p.Qubits, p.Operations)
+		}
+		return nil
+	}
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: benchgen [-o out.qc] [-ft] <benchmark-name> | benchgen -list")
+	}
+	var c *circuit.Circuit
+	var err error
+	if *ft {
+		c, err = benchgen.GenerateFT(flag.Arg(0))
+	} else {
+		c, err = benchgen.Generate(flag.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return circuit.WriteQC(os.Stdout, c)
+	}
+	if err := circuit.SaveQCFile(*out, c); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d qubits, %d gates\n", *out, c.NumQubits(), c.NumGates())
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command leqa estimates the latency of a quantum algorithm mapped to a
+// tiled quantum architecture — the paper's Algorithm 1.
+//
+// Usage:
+//
+//	leqa [flags] <circuit.qc | benchmark-name>
+//
+// The positional argument is either a .qc netlist file or a generator spec
+// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder.
+//
+// Flags:
+//
+//	-width/-height    fabric dimensions (default 60x60, Table 1)
+//	-nc               channel capacity (default 5)
+//	-v                qubit speed 𝓋 (default 0.001)
+//	-tmove            per-hop move time in µs (default 100)
+//	-truncation       E[S_q] term limit (default 20; -1 = exact)
+//	-no-congestion    disable the M/M/1 congestion model
+//	-decompose        lower non-FT gates before estimating
+//	-verbose          print model intermediates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/fabric"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		width        = flag.Int("width", 60, "fabric width (ULB columns)")
+		height       = flag.Int("height", 60, "fabric height (ULB rows)")
+		nc           = flag.Int("nc", 5, "routing channel capacity Nc")
+		speed        = flag.Float64("v", 0.001, "qubit speed 𝓋 (ULB sides per µs)")
+		tmove        = flag.Float64("tmove", 100, "per-hop move time T_move (µs)")
+		truncation   = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
+		noCongestion = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
+		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
+		verbose      = flag.Bool("verbose", false, "print model intermediates")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name>")
+	}
+	c, err := loadOrGenerate(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !c.IsFT() {
+		if !*doDecompose {
+			return fmt.Errorf("circuit has non-FT gates; rerun with -decompose")
+		}
+		c, err = decompose.ToFT(c, decompose.Options{})
+		if err != nil {
+			return err
+		}
+	}
+
+	p := fabric.Default()
+	p.Grid = fabric.Grid{Width: *width, Height: *height}
+	p.ChannelCapacity = *nc
+	p.QubitSpeed = *speed
+	p.TMove = *tmove
+	est, err := core.New(p, core.Options{Truncation: *truncation, DisableCongestion: *noCongestion})
+	if err != nil {
+		return err
+	}
+	res, err := est.Estimate(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit:            %s (%d qubits, %d operations)\n", c.Name, res.Qubits, res.Operations)
+	fmt.Printf("estimated latency:  %.6e s (%.1f µs)\n", res.EstimatedLatency/1e6, res.EstimatedLatency)
+	if *verbose {
+		fmt.Printf("B (avg zone area):  %.3f ULBs (side %d)\n", res.AvgZoneArea, res.ZoneSide)
+		fmt.Printf("d_uncong:           %.2f µs\n", res.DUncong)
+		fmt.Printf("L_CNOT^avg:         %.2f µs\n", res.LCNOTAvg)
+		fmt.Printf("L_g^avg:            %.2f µs\n", res.LOneQubitAvg)
+		fmt.Printf("critical path:      %d CNOTs + %d one-qubit ops\n",
+			res.CriticalCNOTs, res.CriticalOneQubit)
+		for q := 1; q < len(res.ESq) && q <= 10; q++ {
+			fmt.Printf("  E[S_%-2d] = %10.3f ULBs   d_%-2d = %8.1f µs\n", q, res.ESq[q], q, res.Dq[q])
+		}
+	}
+	return nil
+}
+
+func loadOrGenerate(arg string) (*circuit.Circuit, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return circuit.LoadQCFile(arg)
+	}
+	return benchgen.Generate(arg)
+}

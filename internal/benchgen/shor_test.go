@@ -1,0 +1,90 @@
+package benchgen
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/sim"
+)
+
+func TestShorModExpFunctional(t *testing.T) {
+	// |e, x, 0⟩ → |e, x, Σ_k e_k·(x·2^k) mod 2^n⟩ for all inputs at n=3,
+	// rounds=2.
+	const n, rounds = 3, 2
+	c, err := ShorModExp(n, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1<<n - 1)
+	for e := uint64(0); e < 1<<rounds; e++ {
+		for x := uint64(0); x <= mask; x++ {
+			in := e | x<<rounds
+			reg := sim.BitsFromUint(c.NumQubits(), in)
+			if err := reg.RunReversible(c); err != nil {
+				t.Fatal(err)
+			}
+			out := reg.Uint()
+			want := uint64(0)
+			for k := 0; k < rounds; k++ {
+				if e&(1<<uint(k)) != 0 {
+					want = (want + x<<uint(k)) & mask
+				}
+			}
+			gotAcc := (out >> uint(rounds+n)) & mask
+			if gotAcc != want {
+				t.Fatalf("e=%b x=%d: acc=%d, want %d", e, x, gotAcc, want)
+			}
+			if out&(1<<uint(rounds+n)-1) != in {
+				t.Fatalf("e=%b x=%d: inputs clobbered", e, x)
+			}
+			if carry := out >> uint(rounds+2*n); carry != 0 {
+				t.Fatalf("e=%b x=%d: carries dirty %b", e, x, carry)
+			}
+		}
+	}
+}
+
+func TestShorModExpOpCountClosedForm(t *testing.T) {
+	for _, tc := range []struct{ n, rounds int }{{3, 1}, {4, 2}, {5, 3}, {8, 4}} {
+		c, err := ShorModExp(tc.n, tc.rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := decompose.ToFT(c, decompose.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ShorModExpOpCount(tc.n, tc.rounds)
+		if ft.NumGates() != want {
+			t.Errorf("n=%d r=%d: %d FT ops, closed form says %d",
+				tc.n, tc.rounds, ft.NumGates(), want)
+		}
+	}
+}
+
+func TestShorModExpGrowsWithRounds(t *testing.T) {
+	prev := 0
+	for r := 1; r <= 6; r++ {
+		got := ShorModExpOpCount(8, r)
+		if got <= prev {
+			t.Errorf("rounds=%d: %d ops, not growing past %d", r, got, prev)
+		}
+		prev = got
+	}
+	// And with register width at fixed rounds.
+	if ShorModExpOpCount(16, 4) <= ShorModExpOpCount(8, 4) {
+		t.Error("op count should grow with register width")
+	}
+}
+
+func TestShorModExpRejectsBadArgs(t *testing.T) {
+	if _, err := ShorModExp(1, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := ShorModExp(4, 0); err == nil {
+		t.Error("rounds=0 should fail")
+	}
+}

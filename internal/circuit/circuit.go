@@ -1,0 +1,241 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circuit is an ordered reversible/FT gate netlist over a fixed register of
+// logical qubits. The zero value is an empty circuit with no qubits.
+type Circuit struct {
+	// Name labels the circuit (benchmark name); informational only.
+	Name string
+	// names holds one display name per qubit. len(names) == qubit count.
+	names []string
+	// byName maps a display name to its qubit index.
+	byName map[string]int
+	// Gates is the ordered gate list.
+	Gates []Gate
+}
+
+// New creates an empty circuit with n anonymous qubits named q0..q<n-1>.
+func New(name string, n int) *Circuit {
+	c := &Circuit{Name: name, byName: make(map[string]int, n)}
+	for i := 0; i < n; i++ {
+		c.addQubit(fmt.Sprintf("q%d", i))
+	}
+	return c
+}
+
+// NewNamed creates an empty circuit whose qubits carry the given names.
+// Duplicate names are rejected.
+func NewNamed(name string, qubits []string) (*Circuit, error) {
+	c := &Circuit{Name: name, byName: make(map[string]int, len(qubits))}
+	for _, q := range qubits {
+		if _, dup := c.byName[q]; dup {
+			return nil, fmt.Errorf("circuit %q: duplicate qubit name %q", name, q)
+		}
+		c.addQubit(q)
+	}
+	return c, nil
+}
+
+func (c *Circuit) addQubit(name string) int {
+	if c.byName == nil {
+		c.byName = make(map[string]int)
+	}
+	idx := len(c.names)
+	c.names = append(c.names, name)
+	c.byName[name] = idx
+	return idx
+}
+
+// AddQubit appends a new qubit with the given name and returns its index.
+// If the name is already taken, the existing index is returned.
+func (c *Circuit) AddQubit(name string) int {
+	if idx, ok := c.byName[name]; ok {
+		return idx
+	}
+	return c.addQubit(name)
+}
+
+// AddAncilla appends a fresh ancilla qubit with a unique generated name and
+// returns its index.
+func (c *Circuit) AddAncilla() int {
+	for i := len(c.names); ; i++ {
+		name := fmt.Sprintf("anc%d", i)
+		if _, taken := c.byName[name]; !taken {
+			return c.addQubit(name)
+		}
+	}
+}
+
+// NumQubits returns the register size.
+func (c *Circuit) NumQubits() int { return len(c.names) }
+
+// NumGates returns the number of gates (the paper's "operation count").
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// QubitName returns the display name of qubit i.
+func (c *Circuit) QubitName(i int) string { return c.names[i] }
+
+// QubitNames returns a copy of all qubit display names in index order.
+func (c *Circuit) QubitNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// QubitIndex returns the index for a display name.
+func (c *Circuit) QubitIndex(name string) (int, bool) {
+	idx, ok := c.byName[name]
+	return idx, ok
+}
+
+// Append adds gates to the end of the circuit. It does not validate; call
+// Validate once after construction.
+func (c *Circuit) Append(gs ...Gate) { c.Gates = append(c.Gates, gs...) }
+
+// Validate checks every gate against the register size.
+func (c *Circuit) Validate() error {
+	n := c.NumQubits()
+	for i, g := range c.Gates {
+		if err := g.Validate(n); err != nil {
+			return fmt.Errorf("circuit %q: gate %d: %w", c.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// IsFT reports whether every gate belongs to the fault-tolerant set
+// (one-qubit FT gates and CNOT) and so can be mapped directly to ULBs.
+func (c *Circuit) IsFT() bool {
+	for _, g := range c.Gates {
+		if !g.Type.IsFT() {
+			return false
+		}
+	}
+	return true
+}
+
+// GateCounts returns the number of gates of each type present.
+func (c *Circuit) GateCounts() map[GateType]int {
+	m := make(map[GateType]int)
+	for _, g := range c.Gates {
+		m[g.Type]++
+	}
+	return m
+}
+
+// CountsString formats GateCounts deterministically for logs and reports.
+func (c *Circuit) CountsString() string {
+	counts := c.GateCounts()
+	types := make([]GateType, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	s := ""
+	for i, t := range types {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", t, counts[t])
+	}
+	return s
+}
+
+// TwoQubitOpCount returns the number of gates touching exactly two qubits.
+func (c *Circuit) TwoQubitOpCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, byName: make(map[string]int, len(c.byName))}
+	out.names = append([]string(nil), c.names...)
+	for k, v := range c.byName {
+		out.byName[k] = v
+	}
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{
+			Type:     g.Type,
+			Controls: append([]int(nil), g.Controls...),
+			Targets:  append([]int(nil), g.Targets...),
+		}
+	}
+	return out
+}
+
+// Reverse returns the adjoint circuit: gates in reverse order with each gate
+// replaced by its inverse. Useful for uncomputation in generators.
+func (c *Circuit) Reverse() *Circuit {
+	out := c.Clone()
+	out.Name = c.Name + "_rev"
+	for i, j := 0, len(out.Gates)-1; i < j; i, j = i+1, j-1 {
+		out.Gates[i], out.Gates[j] = out.Gates[j], out.Gates[i]
+	}
+	for i := range out.Gates {
+		out.Gates[i].Type = out.Gates[i].Type.Adjoint()
+	}
+	return out
+}
+
+// Stats summarizes a circuit for Table-3-style reports.
+type Stats struct {
+	Name     string
+	Qubits   int
+	Gates    int
+	TwoQubit int
+	OneQubit int
+	NonFT    int // gates still needing decomposition
+	ByType   map[GateType]int
+	MaxQubit int // highest qubit index used by any gate, -1 if none
+	Depth    int // naive qubit-availability depth (no routing)
+}
+
+// ComputeStats derives Stats in one pass.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		Name:     c.Name,
+		Qubits:   c.NumQubits(),
+		Gates:    len(c.Gates),
+		ByType:   c.GateCounts(),
+		MaxQubit: -1,
+	}
+	avail := make([]int, c.NumQubits())
+	for _, g := range c.Gates {
+		if g.IsTwoQubit() {
+			s.TwoQubit++
+		} else if g.Arity() == 1 {
+			s.OneQubit++
+		}
+		if !g.Type.IsFT() {
+			s.NonFT++
+		}
+		level := 0
+		for _, q := range g.Qubits() {
+			if q > s.MaxQubit {
+				s.MaxQubit = q
+			}
+			if avail[q] > level {
+				level = avail[q]
+			}
+		}
+		level++
+		for _, q := range g.Qubits() {
+			avail[q] = level
+		}
+		if level > s.Depth {
+			s.Depth = level
+		}
+	}
+	return s
+}

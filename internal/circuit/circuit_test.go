@@ -1,0 +1,172 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCircuit(t *testing.T) {
+	c := New("t", 3)
+	if c.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d, want 3", c.NumQubits())
+	}
+	if c.QubitName(0) != "q0" || c.QubitName(2) != "q2" {
+		t.Errorf("unexpected names %v", c.QubitNames())
+	}
+	if idx, ok := c.QubitIndex("q1"); !ok || idx != 1 {
+		t.Errorf("QubitIndex(q1) = %d,%v", idx, ok)
+	}
+}
+
+func TestNewNamedRejectsDuplicates(t *testing.T) {
+	if _, err := NewNamed("t", []string{"a", "b", "a"}); err == nil {
+		t.Fatal("want error on duplicate name")
+	}
+	c, err := NewNamed("t", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 2 {
+		t.Fatalf("NumQubits = %d", c.NumQubits())
+	}
+}
+
+func TestAddQubitIdempotent(t *testing.T) {
+	c := New("t", 1)
+	i1 := c.AddQubit("extra")
+	i2 := c.AddQubit("extra")
+	if i1 != i2 {
+		t.Errorf("AddQubit twice gave %d then %d", i1, i2)
+	}
+	if c.NumQubits() != 2 {
+		t.Errorf("NumQubits = %d, want 2", c.NumQubits())
+	}
+}
+
+func TestAddAncillaUnique(t *testing.T) {
+	c := New("t", 2)
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		idx := c.AddAncilla()
+		if seen[idx] {
+			t.Fatalf("AddAncilla returned duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	if c.NumQubits() != 12 {
+		t.Errorf("NumQubits = %d, want 12", c.NumQubits())
+	}
+}
+
+func TestCircuitValidate(t *testing.T) {
+	c := New("t", 2)
+	c.Append(NewCNOT(0, 1))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Append(NewCNOT(0, 5))
+	if err := c.Validate(); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestIsFTAndCounts(t *testing.T) {
+	c := New("t", 3)
+	c.Append(NewOneQubit(H, 0), NewCNOT(0, 1))
+	if !c.IsFT() {
+		t.Error("H+CNOT should be FT")
+	}
+	c.Append(NewToffoli(0, 1, 2))
+	if c.IsFT() {
+		t.Error("Toffoli is not FT")
+	}
+	counts := c.GateCounts()
+	if counts[H] != 1 || counts[CNOT] != 1 || counts[Toffoli] != 1 {
+		t.Errorf("GateCounts = %v", counts)
+	}
+	if got := c.TwoQubitOpCount(); got != 1 {
+		t.Errorf("TwoQubitOpCount = %d, want 1", got)
+	}
+	if s := c.CountsString(); s == "" {
+		t.Error("CountsString empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New("t", 2)
+	c.Append(NewCNOT(0, 1))
+	d := c.Clone()
+	d.Gates[0].Controls[0] = 1
+	d.Gates[0].Targets[0] = 0
+	if c.Gates[0].Controls[0] != 0 {
+		t.Error("Clone shares gate storage")
+	}
+	d.AddQubit("new")
+	if c.NumQubits() != 2 {
+		t.Error("Clone shares qubit registry")
+	}
+}
+
+func TestReverseIsAdjoint(t *testing.T) {
+	c := New("t", 2)
+	c.Append(NewOneQubit(T, 0), NewOneQubit(H, 1), NewCNOT(0, 1))
+	r := c.Reverse()
+	if r.NumGates() != 3 {
+		t.Fatalf("Reverse has %d gates", r.NumGates())
+	}
+	if r.Gates[0].Type != CNOT {
+		t.Errorf("first reversed gate = %s, want CNOT", r.Gates[0].Type)
+	}
+	if r.Gates[2].Type != Tdg {
+		t.Errorf("last reversed gate = %s, want T*", r.Gates[2].Type)
+	}
+	// Reversing twice restores the original types and order.
+	rr := r.Reverse()
+	for i := range c.Gates {
+		if rr.Gates[i].Type != c.Gates[i].Type {
+			t.Errorf("double reverse gate %d: %s != %s", i, rr.Gates[i].Type, c.Gates[i].Type)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := New("t", 3)
+	c.Append(
+		NewOneQubit(H, 0),   // depth 1 on q0
+		NewCNOT(0, 1),       // depth 2
+		NewToffoli(0, 1, 2), // depth 3
+		NewOneQubit(T, 2),   // depth 4
+	)
+	s := c.ComputeStats()
+	if s.Gates != 4 || s.Qubits != 3 {
+		t.Errorf("stats size wrong: %+v", s)
+	}
+	if s.TwoQubit != 1 || s.OneQubit != 2 || s.NonFT != 1 {
+		t.Errorf("stats classes wrong: %+v", s)
+	}
+	if s.Depth != 4 {
+		t.Errorf("Depth = %d, want 4", s.Depth)
+	}
+	if s.MaxQubit != 2 {
+		t.Errorf("MaxQubit = %d, want 2", s.MaxQubit)
+	}
+}
+
+func TestStatsDepthProperty(t *testing.T) {
+	// Depth never exceeds gate count, and is positive when gates exist.
+	f := func(seed uint8) bool {
+		n := int(seed%5) + 2
+		c := New("p", n)
+		for i := 0; i < int(seed); i++ {
+			c.Append(NewCNOT(i%n, (i+1)%n))
+		}
+		s := c.ComputeStats()
+		if s.Depth > s.Gates {
+			return false
+		}
+		return s.Gates == 0 || s.Depth >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package circuit models reversible and fault-tolerant quantum gate
+// netlists: the gate vocabulary, the circuit container, validation, and a
+// plain-text netlist format (.qc) compatible with the conventions of the
+// Maslov reversible benchmark suite used by the LEQA paper.
+//
+// A circuit is an ordered list of gates over a fixed set of logical qubits,
+// identified by dense integer indices. Qubit names are kept for I/O but all
+// algorithms work on indices.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateType enumerates the gate vocabulary. It covers the reversible logic
+// gates produced by synthesis (NOT/CNOT/Toffoli/Fredkin and their
+// multi-control generalizations) and the fault-tolerant (FT) set targeted by
+// quantum FT synthesis for the Steane code: {CNOT, H, T, T†, S, S†, X, Y, Z}.
+type GateType int
+
+const (
+	// Invalid is the zero value; it never appears in a valid circuit.
+	Invalid GateType = iota
+
+	// One-qubit FT gates.
+	X   // Pauli X (logical NOT)
+	Y   // Pauli Y
+	Z   // Pauli Z
+	H   // Hadamard
+	S   // phase gate (π/2 rotation)
+	Sdg // S† (-π/2 rotation)
+	T   // π/4 rotation; non-transversal in Steane code
+	Tdg // T† (-π/4 rotation); non-transversal in Steane code
+
+	// Two-qubit FT gate.
+	CNOT // controlled NOT
+
+	// Reversible-logic gates that must be decomposed before mapping.
+	Toffoli // 2-control NOT (CCX)
+	Fredkin // 1-control SWAP (CSWAP)
+	MCT     // multi-control Toffoli with ≥3 controls
+	MCF     // multi-control Fredkin with ≥2 controls
+	Swap    // unconditional SWAP (decomposes to 3 CNOTs)
+)
+
+// String returns the canonical mnemonic used by the .qc text format.
+func (t GateType) String() string {
+	switch t {
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	case Z:
+		return "Z"
+	case H:
+		return "H"
+	case S:
+		return "S"
+	case Sdg:
+		return "S*"
+	case T:
+		return "T"
+	case Tdg:
+		return "T*"
+	case CNOT:
+		return "CNOT"
+	case Toffoli:
+		return "TOF"
+	case Fredkin:
+		return "FRE"
+	case MCT:
+		return "MCT"
+	case MCF:
+		return "MCF"
+	case Swap:
+		return "SWAP"
+	default:
+		return fmt.Sprintf("GateType(%d)", int(t))
+	}
+}
+
+// IsOneQubit reports whether the gate type acts on exactly one qubit.
+func (t GateType) IsOneQubit() bool {
+	switch t {
+	case X, Y, Z, H, S, Sdg, T, Tdg:
+		return true
+	}
+	return false
+}
+
+// IsFT reports whether the gate type belongs to the fault-tolerant set
+// directly implementable on a ULB ({CNOT} ∪ one-qubit FT gates).
+func (t GateType) IsFT() bool {
+	return t == CNOT || t.IsOneQubit()
+}
+
+// Adjoint returns the inverse gate type. All gates in the vocabulary are
+// self-inverse except S/S† and T/T†.
+func (t GateType) Adjoint() GateType {
+	switch t {
+	case S:
+		return Sdg
+	case Sdg:
+		return S
+	case T:
+		return Tdg
+	case Tdg:
+		return T
+	default:
+		return t
+	}
+}
+
+// Gate is one operation in a netlist. Controls and Targets hold qubit
+// indices. The shape constraints per type are enforced by Validate:
+//
+//	one-qubit FT gates: 0 controls, 1 target
+//	CNOT:               1 control, 1 target
+//	Toffoli:            2 controls, 1 target
+//	Fredkin:            1 control, 2 targets (the swapped pair)
+//	MCT:                ≥3 controls, 1 target
+//	MCF:                ≥2 controls, 2 targets
+//	Swap:               0 controls, 2 targets
+type Gate struct {
+	Type     GateType
+	Controls []int
+	Targets  []int
+}
+
+// NewOneQubit constructs a one-qubit FT gate on qubit q.
+func NewOneQubit(t GateType, q int) Gate {
+	return Gate{Type: t, Targets: []int{q}}
+}
+
+// NewCNOT constructs a CNOT with the given control and target.
+func NewCNOT(control, target int) Gate {
+	return Gate{Type: CNOT, Controls: []int{control}, Targets: []int{target}}
+}
+
+// NewToffoli constructs a 2-control Toffoli gate.
+func NewToffoli(c1, c2, target int) Gate {
+	return Gate{Type: Toffoli, Controls: []int{c1, c2}, Targets: []int{target}}
+}
+
+// NewFredkin constructs a controlled swap of a and b.
+func NewFredkin(control, a, b int) Gate {
+	return Gate{Type: Fredkin, Controls: []int{control}, Targets: []int{a, b}}
+}
+
+// NewMCT constructs a multi-control Toffoli. With 0, 1 or 2 controls the
+// returned gate degenerates to X, CNOT or Toffoli respectively.
+func NewMCT(controls []int, target int) Gate {
+	switch len(controls) {
+	case 0:
+		return NewOneQubit(X, target)
+	case 1:
+		return NewCNOT(controls[0], target)
+	case 2:
+		return NewToffoli(controls[0], controls[1], target)
+	}
+	cs := make([]int, len(controls))
+	copy(cs, controls)
+	return Gate{Type: MCT, Controls: cs, Targets: []int{target}}
+}
+
+// NewSwap constructs an unconditional swap of a and b.
+func NewSwap(a, b int) Gate {
+	return Gate{Type: Swap, Targets: []int{a, b}}
+}
+
+// Qubits returns every qubit index the gate touches, controls first.
+// The result is freshly allocated.
+func (g Gate) Qubits() []int {
+	out := make([]int, 0, len(g.Controls)+len(g.Targets))
+	out = append(out, g.Controls...)
+	out = append(out, g.Targets...)
+	return out
+}
+
+// Arity returns the number of distinct qubits the gate touches, assuming the
+// gate is well-formed (no duplicate operands).
+func (g Gate) Arity() int { return len(g.Controls) + len(g.Targets) }
+
+// IsTwoQubit reports whether the gate touches exactly two qubits.
+func (g Gate) IsTwoQubit() bool { return g.Arity() == 2 }
+
+// Validate checks the operand-shape constraints for the gate type and that
+// all operands are distinct and within [0, n).
+func (g Gate) Validate(n int) error {
+	var wantC, wantT int
+	minC := -1 // exact unless ≥0, then minimum
+	switch g.Type {
+	case X, Y, Z, H, S, Sdg, T, Tdg:
+		wantC, wantT = 0, 1
+	case CNOT:
+		wantC, wantT = 1, 1
+	case Toffoli:
+		wantC, wantT = 2, 1
+	case Fredkin:
+		wantC, wantT = 1, 2
+	case MCT:
+		minC, wantT = 3, 1
+	case MCF:
+		minC, wantT = 2, 2
+	case Swap:
+		wantC, wantT = 0, 2
+	default:
+		return fmt.Errorf("gate %s: unknown type", g.Type)
+	}
+	if minC >= 0 {
+		if len(g.Controls) < minC {
+			return fmt.Errorf("gate %s: want ≥%d controls, have %d", g.Type, minC, len(g.Controls))
+		}
+	} else if len(g.Controls) != wantC {
+		return fmt.Errorf("gate %s: want %d controls, have %d", g.Type, wantC, len(g.Controls))
+	}
+	if len(g.Targets) != wantT {
+		return fmt.Errorf("gate %s: want %d targets, have %d", g.Type, wantT, len(g.Targets))
+	}
+	seen := make(map[int]bool, g.Arity())
+	for _, q := range g.Qubits() {
+		if q < 0 || q >= n {
+			return fmt.Errorf("gate %s: qubit %d out of range [0,%d)", g.Type, q, n)
+		}
+		if seen[q] {
+			return fmt.Errorf("gate %s: duplicate operand qubit %d", g.Type, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// String renders the gate in .qc statement form, using q<i> placeholder
+// names.
+func (g Gate) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Type.String())
+	for _, q := range g.Qubits() {
+		fmt.Fprintf(&sb, " q%d", q)
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateTypeString(t *testing.T) {
+	cases := map[GateType]string{
+		X: "X", Y: "Y", Z: "Z", H: "H", S: "S", Sdg: "S*",
+		T: "T", Tdg: "T*", CNOT: "CNOT", Toffoli: "TOF",
+		Fredkin: "FRE", MCT: "MCT", MCF: "MCF", Swap: "SWAP",
+	}
+	for gt, want := range cases {
+		if got := gt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(gt), got, want)
+		}
+	}
+	if got := Invalid.String(); !strings.Contains(got, "GateType") {
+		t.Errorf("Invalid.String() = %q, want placeholder", got)
+	}
+}
+
+func TestIsOneQubit(t *testing.T) {
+	one := []GateType{X, Y, Z, H, S, Sdg, T, Tdg}
+	for _, gt := range one {
+		if !gt.IsOneQubit() {
+			t.Errorf("%s.IsOneQubit() = false, want true", gt)
+		}
+	}
+	multi := []GateType{CNOT, Toffoli, Fredkin, MCT, MCF, Swap, Invalid}
+	for _, gt := range multi {
+		if gt.IsOneQubit() {
+			t.Errorf("%s.IsOneQubit() = true, want false", gt)
+		}
+	}
+}
+
+func TestIsFT(t *testing.T) {
+	ft := []GateType{X, Y, Z, H, S, Sdg, T, Tdg, CNOT}
+	for _, gt := range ft {
+		if !gt.IsFT() {
+			t.Errorf("%s.IsFT() = false, want true", gt)
+		}
+	}
+	nonFT := []GateType{Toffoli, Fredkin, MCT, MCF, Swap, Invalid}
+	for _, gt := range nonFT {
+		if gt.IsFT() {
+			t.Errorf("%s.IsFT() = true, want false", gt)
+		}
+	}
+}
+
+func TestAdjoint(t *testing.T) {
+	pairs := map[GateType]GateType{
+		S: Sdg, Sdg: S, T: Tdg, Tdg: T,
+	}
+	for a, b := range pairs {
+		if got := a.Adjoint(); got != b {
+			t.Errorf("%s.Adjoint() = %s, want %s", a, got, b)
+		}
+	}
+	selfInv := []GateType{X, Y, Z, H, CNOT, Toffoli, Fredkin, Swap}
+	for _, gt := range selfInv {
+		if got := gt.Adjoint(); got != gt {
+			t.Errorf("%s.Adjoint() = %s, want self", gt, got)
+		}
+	}
+}
+
+func TestGateConstructors(t *testing.T) {
+	g := NewOneQubit(H, 3)
+	if g.Type != H || len(g.Controls) != 0 || len(g.Targets) != 1 || g.Targets[0] != 3 {
+		t.Errorf("NewOneQubit wrong shape: %+v", g)
+	}
+	g = NewCNOT(1, 2)
+	if g.Type != CNOT || g.Controls[0] != 1 || g.Targets[0] != 2 {
+		t.Errorf("NewCNOT wrong shape: %+v", g)
+	}
+	g = NewToffoli(0, 1, 2)
+	if g.Type != Toffoli || g.Arity() != 3 {
+		t.Errorf("NewToffoli wrong shape: %+v", g)
+	}
+	g = NewFredkin(0, 1, 2)
+	if g.Type != Fredkin || len(g.Targets) != 2 {
+		t.Errorf("NewFredkin wrong shape: %+v", g)
+	}
+	g = NewSwap(4, 5)
+	if g.Type != Swap || len(g.Controls) != 0 || len(g.Targets) != 2 {
+		t.Errorf("NewSwap wrong shape: %+v", g)
+	}
+}
+
+func TestNewMCTDegenerates(t *testing.T) {
+	if g := NewMCT(nil, 5); g.Type != X {
+		t.Errorf("0-control MCT = %s, want X", g.Type)
+	}
+	if g := NewMCT([]int{1}, 5); g.Type != CNOT {
+		t.Errorf("1-control MCT = %s, want CNOT", g.Type)
+	}
+	if g := NewMCT([]int{1, 2}, 5); g.Type != Toffoli {
+		t.Errorf("2-control MCT = %s, want Toffoli", g.Type)
+	}
+	g := NewMCT([]int{1, 2, 3}, 5)
+	if g.Type != MCT || len(g.Controls) != 3 {
+		t.Errorf("3-control MCT wrong shape: %+v", g)
+	}
+}
+
+func TestNewMCTCopiesControls(t *testing.T) {
+	controls := []int{1, 2, 3}
+	g := NewMCT(controls, 5)
+	controls[0] = 9
+	if g.Controls[0] != 1 {
+		t.Error("NewMCT aliases the caller's control slice")
+	}
+}
+
+func TestGateValidate(t *testing.T) {
+	valid := []Gate{
+		NewOneQubit(H, 0),
+		NewCNOT(0, 1),
+		NewToffoli(0, 1, 2),
+		NewFredkin(0, 1, 2),
+		NewMCT([]int{0, 1, 2}, 3),
+		NewSwap(0, 1),
+		{Type: MCF, Controls: []int{0, 1}, Targets: []int{2, 3}},
+	}
+	for _, g := range valid {
+		if err := g.Validate(4); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", g, err)
+		}
+	}
+	invalid := []struct {
+		name string
+		g    Gate
+		n    int
+	}{
+		{"out of range", NewCNOT(0, 4), 4},
+		{"negative", NewCNOT(-1, 0), 4},
+		{"duplicate", NewCNOT(2, 2), 4},
+		{"toffoli dup", NewToffoli(1, 1, 2), 4},
+		{"one-qubit with control", Gate{Type: H, Controls: []int{0}, Targets: []int{1}}, 4},
+		{"cnot extra target", Gate{Type: CNOT, Controls: []int{0}, Targets: []int{1, 2}}, 4},
+		{"mct too few controls", Gate{Type: MCT, Controls: []int{0, 1}, Targets: []int{2}}, 4},
+		{"mcf one control", Gate{Type: MCF, Controls: []int{0}, Targets: []int{1, 2}}, 4},
+		{"invalid type", Gate{Type: Invalid, Targets: []int{0}}, 4},
+		{"swap one target", Gate{Type: Swap, Targets: []int{0}}, 4},
+	}
+	for _, tc := range invalid {
+		if err := tc.g.Validate(tc.n); err == nil {
+			t.Errorf("%s: Validate(%v) = nil, want error", tc.name, tc.g)
+		}
+	}
+}
+
+func TestGateQubitsOrder(t *testing.T) {
+	g := NewToffoli(5, 3, 1)
+	qs := g.Qubits()
+	if len(qs) != 3 || qs[0] != 5 || qs[1] != 3 || qs[2] != 1 {
+		t.Errorf("Qubits() = %v, want controls then targets", qs)
+	}
+	// Must be a fresh slice.
+	qs[0] = 99
+	if g.Controls[0] != 5 {
+		t.Error("Qubits() aliases gate storage")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := NewCNOT(0, 1)
+	if got := g.String(); got != "CNOT q0 q1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestIsTwoQubit(t *testing.T) {
+	if !NewCNOT(0, 1).IsTwoQubit() {
+		t.Error("CNOT should be two-qubit")
+	}
+	if !NewSwap(0, 1).IsTwoQubit() {
+		t.Error("Swap should be two-qubit")
+	}
+	if NewToffoli(0, 1, 2).IsTwoQubit() {
+		t.Error("Toffoli is not two-qubit")
+	}
+	if NewOneQubit(T, 0).IsTwoQubit() {
+		t.Error("T is not two-qubit")
+	}
+}

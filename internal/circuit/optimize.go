@@ -1,0 +1,146 @@
+package circuit
+
+// Peephole optimization over FT netlists: cancel adjacent inverse pairs
+// (H·H, X·X, CNOT·CNOT on the same operands, T·T†, S·S†, ...) and merge
+// rotation pairs (T·T → S, S·S → Z, T†·T† → S†, S†·S† → Z). "Adjacent"
+// means adjacent on the qubit's own timeline — gates on other qubits may
+// sit between them in program order as long as no gate touches the operands
+// in between.
+//
+// This is a quantum-algorithm-developer utility in the spirit of the
+// paper's §1 use case (compare codings quickly); the estimator itself never
+// rewrites its input.
+
+// mergeResult describes what two successive gates on the same operands
+// reduce to: annihilation, a replacement gate, or nothing.
+type mergeOutcome int
+
+const (
+	mergeNone mergeOutcome = iota
+	mergeCancel
+	mergeReplace
+)
+
+// mergePair decides the fate of two same-operand gates executed in
+// sequence.
+func mergePair(a, b GateType) (mergeOutcome, GateType) {
+	if a.Adjoint() == b {
+		// Covers all self-inverse pairs plus T·T†, S·S†.
+		return mergeCancel, Invalid
+	}
+	switch {
+	case a == T && b == T:
+		return mergeReplace, S
+	case a == Tdg && b == Tdg:
+		return mergeReplace, Sdg
+	case a == S && b == S:
+		return mergeReplace, Z
+	case a == Sdg && b == Sdg:
+		return mergeReplace, Z
+	}
+	return mergeNone, Invalid
+}
+
+// sameOperands reports whether two gates act on identical control and
+// target lists.
+func sameOperands(a, b Gate) bool {
+	if len(a.Controls) != len(b.Controls) || len(a.Targets) != len(b.Targets) {
+		return false
+	}
+	for i := range a.Controls {
+		if a.Controls[i] != b.Controls[i] {
+			return false
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Optimize applies cancellation/merging until a fixed point and returns a
+// new circuit plus the number of gates removed. The input is unchanged.
+func Optimize(c *Circuit) (*Circuit, int) {
+	out := c.Clone()
+	removedTotal := 0
+	for {
+		removed := optimizePass(out)
+		removedTotal += removed
+		if removed == 0 {
+			return out, removedTotal
+		}
+	}
+}
+
+// optimizePass performs one sweep. For each gate it finds the qubit-timeline
+// successor (the next gate sharing any operand); if that successor shares
+// ALL operands and merges, both are rewritten in place.
+func optimizePass(c *Circuit) int {
+	n := len(c.Gates)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	// last[q] = index of the most recent alive gate touching q, -1 none.
+	last := make([]int, c.NumQubits())
+	for i := range last {
+		last[i] = -1
+	}
+	removed := 0
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		g := c.Gates[i]
+		// Find the unique predecessor on every operand; merging is legal
+		// only if the SAME gate is each operand's latest toucher (nothing
+		// interleaves on any operand wire).
+		prev := -2 // -2 unset, -1 mixed/none
+		for _, q := range g.Qubits() {
+			lq := last[q]
+			if prev == -2 {
+				prev = lq
+			} else if prev != lq {
+				prev = -1
+			}
+		}
+		if prev >= 0 && alive[prev] && sameOperands(c.Gates[prev], g) {
+			switch outcome, repl := mergePair(c.Gates[prev].Type, g.Type); outcome {
+			case mergeCancel:
+				alive[prev], alive[i] = false, false
+				removed += 2
+				// The operands' latest toucher rolls back to "unknown";
+				// conservatively reset to -1 (no further chained merge
+				// through this site until the next pass).
+				for _, q := range g.Qubits() {
+					last[q] = -1
+				}
+				continue
+			case mergeReplace:
+				alive[prev] = false
+				removed++
+				c.Gates[i] = Gate{
+					Type:     repl,
+					Controls: g.Controls,
+					Targets:  g.Targets,
+				}
+			}
+		}
+		for _, q := range g.Qubits() {
+			last[q] = i
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	kept := c.Gates[:0]
+	for i, g := range c.Gates {
+		if alive[i] {
+			kept = append(kept, g)
+		}
+	}
+	c.Gates = kept
+	return removed
+}

@@ -1,0 +1,127 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeCancelsSelfInversePairs(t *testing.T) {
+	c := New("cancel", 2)
+	c.Append(
+		NewOneQubit(H, 0), NewOneQubit(H, 0),
+		NewCNOT(0, 1), NewCNOT(0, 1),
+		NewOneQubit(X, 1), NewOneQubit(X, 1),
+	)
+	out, removed := Optimize(c)
+	if out.NumGates() != 0 || removed != 6 {
+		t.Errorf("optimize left %d gates, removed %d", out.NumGates(), removed)
+	}
+}
+
+func TestOptimizeCancelsAdjointPairs(t *testing.T) {
+	c := New("adj", 1)
+	c.Append(NewOneQubit(T, 0), NewOneQubit(Tdg, 0))
+	out, _ := Optimize(c)
+	if out.NumGates() != 0 {
+		t.Errorf("T·T† not cancelled: %d gates left", out.NumGates())
+	}
+	c = New("adj2", 1)
+	c.Append(NewOneQubit(Sdg, 0), NewOneQubit(S, 0))
+	out, _ = Optimize(c)
+	if out.NumGates() != 0 {
+		t.Errorf("S†·S not cancelled")
+	}
+}
+
+func TestOptimizeMergesRotations(t *testing.T) {
+	c := New("merge", 1)
+	c.Append(NewOneQubit(T, 0), NewOneQubit(T, 0))
+	out, _ := Optimize(c)
+	if out.NumGates() != 1 || out.Gates[0].Type != S {
+		t.Errorf("T·T should merge to S, got %v", out.Gates)
+	}
+	// T·T·T·T → S·S → Z (fixed point across passes).
+	c = New("merge4", 1)
+	for i := 0; i < 4; i++ {
+		c.Append(NewOneQubit(T, 0))
+	}
+	out, _ = Optimize(c)
+	if out.NumGates() != 1 || out.Gates[0].Type != Z {
+		t.Errorf("T^4 should reduce to Z, got %v", out.Gates)
+	}
+}
+
+func TestOptimizeRespectsInterleavedGates(t *testing.T) {
+	// H(0) X(0) H(0): the two H gates must NOT cancel across the X.
+	c := New("blocked", 1)
+	c.Append(NewOneQubit(H, 0), NewOneQubit(X, 0), NewOneQubit(H, 0))
+	out, removed := Optimize(c)
+	if removed != 0 || out.NumGates() != 3 {
+		t.Errorf("illegal cancellation across X: %v", out.Gates)
+	}
+}
+
+func TestOptimizeAllowsIndependentInterleaving(t *testing.T) {
+	// H(0) T(1) H(0): the T on another wire does not block cancellation.
+	c := New("independent", 2)
+	c.Append(NewOneQubit(H, 0), NewOneQubit(T, 1), NewOneQubit(H, 0))
+	out, _ := Optimize(c)
+	if out.NumGates() != 1 || out.Gates[0].Type != T {
+		t.Errorf("want single T survivor, got %v", out.Gates)
+	}
+}
+
+func TestOptimizeCNOTPartialOverlapBlocks(t *testing.T) {
+	// CNOT(0,1) CNOT(1,0) CNOT(0,1): middle gate shares operands but with
+	// swapped roles; nothing cancels.
+	c := New("roles", 2)
+	c.Append(NewCNOT(0, 1), NewCNOT(1, 0), NewCNOT(0, 1))
+	out, removed := Optimize(c)
+	if removed != 0 || out.NumGates() != 3 {
+		t.Errorf("role-swapped CNOTs wrongly merged: %v", out.Gates)
+	}
+	// A one-qubit gate on the control between two CNOTs blocks too.
+	c = New("ctrlblocked", 2)
+	c.Append(NewCNOT(0, 1), NewOneQubit(T, 0), NewCNOT(0, 1))
+	out, removed = Optimize(c)
+	if removed != 0 {
+		t.Errorf("cancelled across a control-wire gate: %v", out.Gates)
+	}
+}
+
+func TestOptimizeInputUnchanged(t *testing.T) {
+	c := New("orig", 1)
+	c.Append(NewOneQubit(H, 0), NewOneQubit(H, 0))
+	Optimize(c)
+	if c.NumGates() != 2 {
+		t.Error("Optimize mutated its input")
+	}
+}
+
+func TestOptimizeDeterministicAndIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := New("rand", 4)
+	types := []GateType{H, T, Tdg, S, Sdg, X, Z}
+	for i := 0; i < 200; i++ {
+		if rng.Intn(4) == 0 {
+			a, b := rng.Intn(4), rng.Intn(4)
+			if a != b {
+				c.Append(NewCNOT(a, b))
+			}
+		} else {
+			c.Append(NewOneQubit(types[rng.Intn(len(types))], rng.Intn(4)))
+		}
+	}
+	o1, r1 := Optimize(c)
+	o2, r2 := Optimize(c)
+	if o1.NumGates() != o2.NumGates() || r1 != r2 {
+		t.Fatal("optimizer not deterministic")
+	}
+	o3, r3 := Optimize(o1)
+	if r3 != 0 || o3.NumGates() != o1.NumGates() {
+		t.Errorf("optimizer not idempotent: removed %d more", r3)
+	}
+	if err := o1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package core implements LEQA itself — Algorithm 1 of the paper: a fast
+// latency estimator for a quantum algorithm (an FT gate netlist) mapped to a
+// tiled quantum architecture, built on the presence-zone coverage model
+// (Eq. 2–7), the M/M/1 channel congestion model (Eq. 8–11) and the TSP-bound
+// travel model (Eq. 12–16), feeding the critical-path latency of Eq. 1.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/fabric"
+	"repro/internal/iig"
+	"repro/internal/qodg"
+	"repro/internal/queuemodel"
+	"repro/internal/tsp"
+)
+
+// DefaultTruncation is the number of E[S_q] terms evaluated (the paper
+// computes "only the first 20 terms ... in practice").
+const DefaultTruncation = 20
+
+// Options tunes the estimator; the zero value gives the paper's behavior.
+type Options struct {
+	// Truncation overrides the E[S_q] term limit; 0 means
+	// DefaultTruncation, negative means no truncation (all Q terms) —
+	// used by the truncation ablation.
+	Truncation int
+	// DisableCongestion replaces Eq. 8 with d_q = d_uncong everywhere,
+	// for the congestion-model ablation.
+	DisableCongestion bool
+}
+
+func (o Options) truncation(q int) int {
+	switch {
+	case o.Truncation < 0:
+		return q
+	case o.Truncation == 0:
+		if q < DefaultTruncation {
+			return q
+		}
+		return DefaultTruncation
+	default:
+		if o.Truncation > q {
+			return q
+		}
+		return o.Truncation
+	}
+}
+
+// Result carries the estimate plus every intermediate the paper defines, so
+// experiments and reports can inspect the model.
+type Result struct {
+	// EstimatedLatency is D of Eq. 1, in µs.
+	EstimatedLatency float64
+	// LCNOTAvg is L_CNOT^avg (Eq. 2): average CNOT routing latency, µs.
+	LCNOTAvg float64
+	// LOneQubitAvg is L_g^avg = 2·T_move, µs.
+	LOneQubitAvg float64
+	// DUncong is the congestion-free average routing latency (Eq. 12), µs.
+	DUncong float64
+	// AvgZoneArea is B (Eq. 7), in ULB units.
+	AvgZoneArea float64
+	// ZoneSide is ⌈√B⌉ clamped to the fabric, in ULBs.
+	ZoneSide int
+	// ESq[q] is E[S_q] for q = 1..len(ESq)-1 (index 0 unused), in ULBs.
+	ESq []float64
+	// Dq[q] is d_q (Eq. 8) for q = 1..len(Dq)-1 (index 0 unused), µs.
+	Dq []float64
+	// CriticalPath is the re-weighted longest path of the QODG.
+	CriticalPath qodg.CriticalPath
+	// CriticalCNOTs and CriticalOneQubit are N_CNOT^critical and
+	// Σ_g N_g^critical.
+	CriticalCNOTs    int
+	CriticalOneQubit int
+	// Qubits and Operations echo the workload size (Table 3 columns).
+	Qubits     int
+	Operations int
+}
+
+// Estimator binds physical parameters and options; safe for reuse across
+// circuits and for concurrent use.
+type Estimator struct {
+	Params  fabric.Params
+	Options Options
+}
+
+// New constructs an Estimator after validating the parameters.
+func New(p fabric.Params, opt Options) (*Estimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{Params: p, Options: opt}, nil
+}
+
+// Estimate runs Algorithm 1 on an FT circuit.
+func (e *Estimator) Estimate(c *circuit.Circuit) (*Result, error) {
+	if !c.IsFT() {
+		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+	}
+	// Line 1: build the IIG (and the QODG used at line 19).
+	g, err := qodg.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	ig, err := iig.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	return e.estimate(c, g, ig)
+}
+
+// EstimateGraphs is Estimate for callers that already built the graphs.
+func (e *Estimator) EstimateGraphs(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (*Result, error) {
+	if !c.IsFT() {
+		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+	}
+	return e.estimate(c, g, ig)
+}
+
+func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (*Result, error) {
+	p := e.Params
+	res := &Result{
+		LOneQubitAvg: p.OneQubitRouting(),
+		Qubits:       c.NumQubits(),
+		Operations:   c.NumGates(),
+	}
+
+	// Lines 2–3: B_i = M_i + 1 (Eq. 6), B = weighted average (Eq. 7).
+	res.AvgZoneArea = ig.AverageZoneArea()
+
+	// Lines 4–8: E[l_ham,i] (Eq. 15), d_uncong,i (Eq. 16), d_uncong (Eq. 12).
+	res.DUncong = ig.WeightedAverage(func(i int) float64 {
+		m := ig.Degree(i)
+		if m == 0 {
+			return 0
+		}
+		lham := tsp.ExpectedHamiltonianPath(m, ig.ZoneArea(i))
+		return lham / (p.QubitSpeed * float64(m))
+	})
+
+	if ig.TotalWeight() > 0 && res.DUncong > 0 {
+		if err := e.routingLatency(res, ig); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lines 19–20: re-weight the QODG with per-op routing latencies and
+	// take the critical path (Eq. 1).
+	var werr error
+	weights := g.NewWeights(func(gt circuit.Gate) float64 {
+		if gt.Type == circuit.CNOT {
+			return p.DCNOT + res.LCNOTAvg
+		}
+		d, err := p.DelayOf(gt.Type)
+		if err != nil && werr == nil {
+			werr = err
+		}
+		return d + res.LOneQubitAvg
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	cp, err := g.LongestPath(weights)
+	if err != nil {
+		return nil, err
+	}
+	res.CriticalPath = cp
+	res.EstimatedLatency = cp.Length
+	for t, n := range cp.CountByType {
+		if t == circuit.CNOT {
+			res.CriticalCNOTs += n
+		} else {
+			res.CriticalOneQubit += n
+		}
+	}
+	return res, nil
+}
+
+// routingLatency fills ZoneSide, ESq, Dq and LCNOTAvg (lines 9–18).
+func (e *Estimator) routingLatency(res *Result, ig *iig.Graph) error {
+	p := e.Params
+	a, b := p.Grid.Width, p.Grid.Height
+	q := ig.Q
+
+	// Zone side ⌈√B⌉, clamped so a zone fits on the fabric.
+	side := int(math.Ceil(math.Sqrt(res.AvgZoneArea)))
+	if side < 1 {
+		side = 1
+	}
+	if side > a {
+		side = a
+	}
+	if side > b {
+		side = b
+	}
+	res.ZoneSide = side
+
+	// Lines 9–13: P_{x,y} (Eq. 5). The numerator factors are separable in
+	// x and y, so precompute the two 1-D profiles.
+	px := coverProfile(a, side)
+	py := coverProfile(b, side)
+	denom := float64(a-side+1) * float64(b-side+1)
+
+	// Lines 14–17: E[S_q] (Eq. 4, truncated) and d_q (Eq. 8).
+	kmax := e.Options.truncation(q)
+	res.ESq = make([]float64, kmax+1)
+	res.Dq = make([]float64, kmax+1)
+	ch, err := queuemodel.NewChannel(p.ChannelCapacity, res.DUncong)
+	if err != nil {
+		return err
+	}
+	for k := 1; k <= kmax; k++ {
+		if e.Options.DisableCongestion {
+			res.Dq[k] = res.DUncong
+		} else {
+			res.Dq[k] = ch.Delay(k)
+		}
+	}
+
+	// Accumulate Σ_{x,y} C(Q,k)·P^k·(1−P)^(Q−k) per k in log space.
+	// log C(Q,k) is built incrementally (the paper's Eq. 18 recurrence).
+	logC := 0.0 // log C(Q,0)
+	fQ := float64(q)
+	// Precompute per-cell log P and log(1−P); cells with P==0 or P==1
+	// handled specially.
+	for k := 1; k <= kmax; k++ {
+		logC += math.Log((fQ - float64(k) + 1) / float64(k))
+		sum := 0.0
+		for x := 1; x <= a; x++ {
+			for y := 1; y <= b; y++ {
+				pxy := px[x] * py[y] / denom
+				switch {
+				case pxy <= 0:
+					// covered by no placement: contributes only to q=0
+				case pxy >= 1:
+					// always covered: contributes only to q=Q
+					if k == q {
+						sum += 1
+					}
+				default:
+					sum += math.Exp(logC + float64(k)*math.Log(pxy) + (fQ-float64(k))*math.Log1p(-pxy))
+				}
+			}
+		}
+		res.ESq[k] = sum
+	}
+
+	// Line 18: L_CNOT^avg (Eq. 2).
+	num, den := 0.0, 0.0
+	for k := 1; k <= kmax; k++ {
+		num += res.ESq[k] * res.Dq[k]
+		den += res.ESq[k]
+	}
+	if den > 0 {
+		res.LCNOTAvg = num / den
+	}
+	return nil
+}
+
+// coverProfile returns f[x] = min(x, n−x+1, s, n−s+1) for x in 1..n — the
+// 1-D count of zone placements covering coordinate x (Eq. 5 numerator
+// factor; Fig. 4).
+func coverProfile(n, s int) []float64 {
+	f := make([]float64, n+1)
+	for x := 1; x <= n; x++ {
+		v := x
+		if n-x+1 < v {
+			v = n - x + 1
+		}
+		if s < v {
+			v = s
+		}
+		if n-s+1 < v {
+			v = n - s + 1
+		}
+		f[x] = float64(v)
+	}
+	return f
+}
+
+// CoverageProbability exposes Eq. 5 for a single ULB — used by the Fig. 3/4
+// regenerations and tests. x and y are 1-based.
+func CoverageProbability(grid fabric.Grid, zoneSide, x, y int) float64 {
+	if zoneSide > grid.Width {
+		zoneSide = grid.Width
+	}
+	if zoneSide > grid.Height {
+		zoneSide = grid.Height
+	}
+	px := coverProfile(grid.Width, zoneSide)
+	py := coverProfile(grid.Height, zoneSide)
+	denom := float64(grid.Width-zoneSide+1) * float64(grid.Height-zoneSide+1)
+	return px[x] * py[y] / denom
+}
+
+// ExpectedSurfaceExact computes E[S_q] without truncation for one q —
+// used by tests validating the Eq. 3 constraint Σ_{q=0..Q} E[S_q] = A.
+func ExpectedSurfaceExact(grid fabric.Grid, zoneSide, qubits, q int) float64 {
+	px := coverProfile(grid.Width, zoneSide)
+	py := coverProfile(grid.Height, zoneSide)
+	denom := float64(grid.Width-zoneSide+1) * float64(grid.Height-zoneSide+1)
+	logC := 0.0
+	for k := 1; k <= q; k++ {
+		logC += math.Log((float64(qubits) - float64(k) + 1) / float64(k))
+	}
+	sum := 0.0
+	for x := 1; x <= grid.Width; x++ {
+		for y := 1; y <= grid.Height; y++ {
+			p := px[x] * py[y] / denom
+			switch {
+			case p <= 0:
+				if q == 0 {
+					sum += 1
+				}
+			case p >= 1:
+				if q == qubits {
+					sum += 1
+				}
+			default:
+				sum += math.Exp(logC + float64(q)*math.Log(p) + float64(qubits-q)*math.Log1p(-p))
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,237 @@
+// Package decompose lowers reversible-logic netlists to the fault-tolerant
+// gate set {CNOT, H, T, T†, S, S†, X, Y, Z}, following the recipe in §4.1 of
+// the LEQA paper:
+//
+//  1. n-input Toffoli and Fredkin gates (n > 3 inputs) are decomposed into
+//     3-input Toffoli/Fredkin gates with fresh ancilla qubits (Nielsen &
+//     Chuang §4.3); no ancilla sharing between decomposed gates.
+//  2. 3-input Fredkin gates are replaced by three 3-input Toffoli gates.
+//  3. 3-input Toffoli gates are decomposed into the 15-gate network over
+//     {H, T, T†, CNOT} (Shende & Markov; N&C Fig. 4.9), the network shown in
+//     the paper's Fig. 2(a).
+//
+// Unconditional swaps are replaced by three CNOTs.
+package decompose
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Options controls the lowering.
+type Options struct {
+	// ShareAncilla reuses one ancilla pool across decomposed MCT gates
+	// instead of allocating fresh qubits per gate. The paper's flow does
+	// NOT share ("no ancillary sharing is performed"), so the default is
+	// false; sharing is provided for ablation studies.
+	ShareAncilla bool
+	// KeepToffoli stops after step 2, leaving 3-input Toffolis in the
+	// output. Used by tests and by flows targeting fabrics with native
+	// Toffoli support.
+	KeepToffoli bool
+}
+
+// ToFT lowers a reversible/FT mixed circuit to the fault-tolerant gate set.
+// The input circuit is not modified. Ancilla qubits required by multi-control
+// decompositions are appended to the register of the returned circuit.
+func ToFT(c *circuit.Circuit, opt Options) (*circuit.Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := circuit.NewNamed(c.Name, c.QubitNames())
+	if err != nil {
+		return nil, err
+	}
+	var pool *ancillaPool
+	if opt.ShareAncilla {
+		pool = &ancillaPool{}
+	}
+	for i, g := range c.Gates {
+		if err := lowerGate(out, g, opt, pool); err != nil {
+			return nil, fmt.Errorf("decompose %q gate %d: %w", c.Name, i, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("decompose %q: output invalid: %w", c.Name, err)
+	}
+	return out, nil
+}
+
+// ancillaPool hands out reusable ancilla indices when sharing is enabled.
+type ancillaPool struct {
+	free []int
+}
+
+func (p *ancillaPool) get(out *circuit.Circuit) int {
+	if n := len(p.free); n > 0 {
+		q := p.free[n-1]
+		p.free = p.free[:n-1]
+		return q
+	}
+	return out.AddAncilla()
+}
+
+func (p *ancillaPool) put(qs ...int) { p.free = append(p.free, qs...) }
+
+func lowerGate(out *circuit.Circuit, g circuit.Gate, opt Options, pool *ancillaPool) error {
+	switch g.Type {
+	case circuit.X, circuit.Y, circuit.Z, circuit.H,
+		circuit.S, circuit.Sdg, circuit.T, circuit.Tdg, circuit.CNOT:
+		out.Append(g)
+		return nil
+	case circuit.Swap:
+		a, b := g.Targets[0], g.Targets[1]
+		out.Append(circuit.NewCNOT(a, b), circuit.NewCNOT(b, a), circuit.NewCNOT(a, b))
+		return nil
+	case circuit.Toffoli:
+		emitToffoli(out, g.Controls[0], g.Controls[1], g.Targets[0], opt)
+		return nil
+	case circuit.Fredkin:
+		emitFredkin(out, g.Controls[0], g.Targets[0], g.Targets[1], opt)
+		return nil
+	case circuit.MCT:
+		return lowerMCT(out, g.Controls, g.Targets[0], opt, pool)
+	case circuit.MCF:
+		return lowerMCF(out, g.Controls, g.Targets[0], g.Targets[1], opt, pool)
+	default:
+		return fmt.Errorf("unknown gate type %s", g.Type)
+	}
+}
+
+// emitFredkin writes a 3-input Fredkin as three 3-input Toffolis
+// (paper §4.1): TOF(c,b,a) TOF(c,a,b) TOF(c,b,a).
+func emitFredkin(out *circuit.Circuit, c, a, b int, opt Options) {
+	emitToffoli(out, c, b, a, opt)
+	emitToffoli(out, c, a, b, opt)
+	emitToffoli(out, c, b, a, opt)
+}
+
+// emitToffoli writes a 3-input Toffoli, either natively (KeepToffoli) or as
+// the 15-gate {H,T,T†,CNOT} network of the paper's Fig. 2(a):
+//
+//	H(t) CX(b,t) T†(t) CX(a,t) T(t) CX(b,t) T†(t) CX(a,t) T(b) T(t) H(t)
+//	CX(a,b) T(a) T†(b) CX(a,b)
+//
+// This is the canonical 6-CNOT, 7-T realization; it implements CCX exactly
+// (no residual global phase).
+func emitToffoli(out *circuit.Circuit, a, b, t int, opt Options) {
+	if opt.KeepToffoli {
+		out.Append(circuit.NewToffoli(a, b, t))
+		return
+	}
+	out.Append(
+		circuit.NewOneQubit(circuit.H, t),
+		circuit.NewCNOT(b, t),
+		circuit.NewOneQubit(circuit.Tdg, t),
+		circuit.NewCNOT(a, t),
+		circuit.NewOneQubit(circuit.T, t),
+		circuit.NewCNOT(b, t),
+		circuit.NewOneQubit(circuit.Tdg, t),
+		circuit.NewCNOT(a, t),
+		circuit.NewOneQubit(circuit.T, b),
+		circuit.NewOneQubit(circuit.T, t),
+		circuit.NewOneQubit(circuit.H, t),
+		circuit.NewCNOT(a, b),
+		circuit.NewOneQubit(circuit.T, a),
+		circuit.NewOneQubit(circuit.Tdg, b),
+		circuit.NewCNOT(a, b),
+	)
+}
+
+// FTGatesPerToffoli is the size of the Toffoli realization emitted by this
+// package (6 CNOT + 2 H + 7 T/T†); Table 3's gf2-multiplier operation counts
+// follow the formula 15·n² + 3(n−1) with this value.
+const FTGatesPerToffoli = 15
+
+// lowerMCT decomposes a k-control Toffoli (k ≥ 3) into 2k−3 3-input
+// Toffolis using k−2 ancilla qubits (N&C §4.3, Fig. 4.10): an AND-chain of
+// the controls is computed into ancillas, the final Toffoli flips the target,
+// and the chain is uncomputed to restore the ancillas to |0⟩.
+func lowerMCT(out *circuit.Circuit, controls []int, target int, opt Options, pool *ancillaPool) error {
+	k := len(controls)
+	if k < 3 {
+		return fmt.Errorf("MCT with %d controls; want ≥3", k)
+	}
+	anc := make([]int, k-2)
+	for i := range anc {
+		if pool != nil {
+			anc[i] = pool.get(out)
+		} else {
+			anc[i] = out.AddAncilla()
+		}
+	}
+	// Compute chain: anc[0] = c0·c1; anc[i] = c_{i+1}·anc[i-1].
+	emitToffoli(out, controls[0], controls[1], anc[0], opt)
+	for i := 1; i < k-2; i++ {
+		emitToffoli(out, controls[i+1], anc[i-1], anc[i], opt)
+	}
+	// Apply.
+	emitToffoli(out, controls[k-1], anc[k-3], target, opt)
+	// Uncompute in reverse.
+	for i := k - 3; i >= 1; i-- {
+		emitToffoli(out, controls[i+1], anc[i-1], anc[i], opt)
+	}
+	emitToffoli(out, controls[0], controls[1], anc[0], opt)
+	if pool != nil {
+		pool.put(anc...)
+	}
+	return nil
+}
+
+// lowerMCF decomposes a multi-control Fredkin: the controls are ANDed into
+// one ancilla (via an MCT when >1 control is left after the chain) and a
+// single-control Fredkin performs the swap, followed by uncomputation.
+func lowerMCF(out *circuit.Circuit, controls []int, a, b int, opt Options, pool *ancillaPool) error {
+	if len(controls) < 2 {
+		return fmt.Errorf("MCF with %d controls; want ≥2", len(controls))
+	}
+	var c int
+	if pool != nil {
+		c = pool.get(out)
+	} else {
+		c = out.AddAncilla()
+	}
+	and := circuit.NewMCT(controls, c)
+	if err := lowerGate(out, and, opt, pool); err != nil {
+		return err
+	}
+	emitFredkin(out, c, a, b, opt)
+	if err := lowerGate(out, and, opt, pool); err != nil {
+		return err
+	}
+	if pool != nil {
+		pool.put(c)
+	}
+	return nil
+}
+
+// CountFT predicts the FT gate count of lowering g without emitting it;
+// used by generators to size circuits.
+func CountFT(g circuit.Gate) int {
+	switch g.Type {
+	case circuit.X, circuit.Y, circuit.Z, circuit.H,
+		circuit.S, circuit.Sdg, circuit.T, circuit.Tdg, circuit.CNOT:
+		return 1
+	case circuit.Swap:
+		return 3
+	case circuit.Toffoli:
+		return FTGatesPerToffoli
+	case circuit.Fredkin:
+		return 3 * FTGatesPerToffoli
+	case circuit.MCT:
+		k := len(g.Controls)
+		return (2*k - 3) * FTGatesPerToffoli
+	case circuit.MCF:
+		// Two control-AND computations (compute + uncompute) plus three
+		// Toffolis for the controlled swap.
+		k := len(g.Controls)
+		andCost := FTGatesPerToffoli // k == 2 → single Toffoli
+		if k >= 3 {
+			andCost = (2*k - 3) * FTGatesPerToffoli
+		}
+		return 2*andCost + 3*FTGatesPerToffoli
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,325 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// mustFT lowers or fails the test.
+func mustFT(t *testing.T, c *circuit.Circuit, opt Options) *circuit.Circuit {
+	t.Helper()
+	out, err := ToFT(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestToffoliDecompositionExact(t *testing.T) {
+	raw := circuit.New("tof", 3)
+	raw.Append(circuit.NewToffoli(0, 1, 2))
+	ft := mustFT(t, raw, Options{})
+	if ft.NumGates() != FTGatesPerToffoli {
+		t.Fatalf("Toffoli lowered to %d gates, want %d", ft.NumGates(), FTGatesPerToffoli)
+	}
+	if !ft.IsFT() {
+		t.Fatal("output contains non-FT gates")
+	}
+	eq, err := sim.CircuitsEquivalent(raw, ft, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("15-gate network is NOT unitarily equal to Toffoli")
+	}
+}
+
+func TestToffoliDecompositionAllOrientations(t *testing.T) {
+	// The network must be exact for any operand assignment.
+	perms := [][3]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}}
+	for _, p := range perms {
+		raw := circuit.New("tof", 3)
+		raw.Append(circuit.NewToffoli(p[0], p[1], p[2]))
+		ft := mustFT(t, raw, Options{})
+		eq, err := sim.CircuitsEquivalent(raw, ft, 3, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("Toffoli%v decomposition wrong", p)
+		}
+	}
+}
+
+func TestFredkinDecompositionExact(t *testing.T) {
+	raw := circuit.New("fre", 3)
+	raw.Append(circuit.NewFredkin(0, 1, 2))
+	// Keep 3 Toffolis to check the paper's replacement first.
+	mid := mustFT(t, raw, Options{KeepToffoli: true})
+	if counts := mid.GateCounts(); counts[circuit.Toffoli] != 3 || mid.NumGates() != 3 {
+		t.Fatalf("Fredkin should become exactly 3 Toffolis, got %v", counts)
+	}
+	eqMid, err := sim.CircuitsEquivalent(raw, mid, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqMid {
+		t.Error("Fredkin != 3 Toffolis")
+	}
+	// Full lowering.
+	ft := mustFT(t, raw, Options{})
+	if ft.NumGates() != 3*FTGatesPerToffoli {
+		t.Fatalf("Fredkin lowered to %d gates, want %d", ft.NumGates(), 3*FTGatesPerToffoli)
+	}
+	eq, err := sim.CircuitsEquivalent(raw, ft, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("full Fredkin lowering wrong")
+	}
+}
+
+func TestSwapDecomposition(t *testing.T) {
+	raw := circuit.New("swap", 2)
+	raw.Append(circuit.NewSwap(0, 1))
+	ft := mustFT(t, raw, Options{})
+	if ft.NumGates() != 3 {
+		t.Fatalf("Swap lowered to %d gates, want 3", ft.NumGates())
+	}
+	eq, err := sim.CircuitsEquivalent(raw, ft, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("Swap != 3 CNOTs")
+	}
+}
+
+func TestMCTDecompositionClassical(t *testing.T) {
+	// For k = 3..6 controls, check the Toffoli-level decomposition on all
+	// classical inputs: target flips iff all controls set, ancillas
+	// restored to zero.
+	for k := 3; k <= 6; k++ {
+		controls := make([]int, k)
+		for i := range controls {
+			controls[i] = i
+		}
+		raw := circuit.New("mct", k+1)
+		raw.Append(circuit.NewMCT(controls, k))
+		low := mustFT(t, raw, Options{KeepToffoli: true})
+		wantTof := 2*k - 3
+		if got := low.GateCounts()[circuit.Toffoli]; got != wantTof {
+			t.Errorf("k=%d: %d Toffolis, want %d", k, got, wantTof)
+		}
+		anc := low.NumQubits() - (k + 1)
+		if anc != k-2 {
+			t.Errorf("k=%d: %d ancillas, want %d", k, anc, k-2)
+		}
+		total := low.NumQubits()
+		for in := uint64(0); in < 1<<uint(k+1); in++ {
+			bits := sim.BitsFromUint(total, in)
+			if err := bits.RunReversible(low); err != nil {
+				t.Fatal(err)
+			}
+			want := in
+			allSet := in&(1<<uint(k)-1) == 1<<uint(k)-1
+			if allSet {
+				want ^= 1 << uint(k)
+			}
+			if bits.Uint() != want {
+				t.Errorf("k=%d input %b: got %b want %b", k, in, bits.Uint(), want)
+			}
+		}
+	}
+}
+
+func TestMCTFullLoweringUnitary(t *testing.T) {
+	// 3-control MCT fully lowered must equal the raw MCT on the computed
+	// register (ancillas start in |0⟩ and must return there). Compare on
+	// basis states of the original 4 wires with ancillas zeroed.
+	raw := circuit.New("mct3", 4)
+	raw.Append(circuit.NewMCT([]int{0, 1, 2}, 3))
+	ft := mustFT(t, raw, Options{})
+	if !ft.IsFT() {
+		t.Fatal("not fully lowered")
+	}
+	n := ft.NumQubits()
+	for in := uint64(0); in < 16; in++ {
+		s, _ := sim.NewBasisState(n, in) // ancillas |0⟩
+		if err := s.Run(ft); err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&7 == 7 {
+			want ^= 8
+		}
+		a := s.Amplitude(want)
+		if absc(a-1) > 1e-9 {
+			t.Errorf("input %04b: amp at %b = %v", in, want, a)
+		}
+	}
+}
+
+func absc(c complex128) float64 {
+	r, i := real(c), imag(c)
+	if r < 0 {
+		r = -r
+	}
+	if i < 0 {
+		i = -i
+	}
+	return r + i
+}
+
+func TestMCFDecompositionClassical(t *testing.T) {
+	raw := circuit.New("mcf", 4)
+	raw.Append(circuit.Gate{Type: circuit.MCF, Controls: []int{0, 1}, Targets: []int{2, 3}})
+	low := mustFT(t, raw, Options{KeepToffoli: true})
+	total := low.NumQubits()
+	for in := uint64(0); in < 16; in++ {
+		bits := sim.BitsFromUint(total, in)
+		if err := bits.RunReversible(low); err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&3 == 3 {
+			b2, b3 := (in>>2)&1, (in>>3)&1
+			want = in&3 | b3<<2 | b2<<3
+		}
+		if bits.Uint() != want {
+			t.Errorf("input %04b: got %b want %b", in, bits.Uint(), want)
+		}
+	}
+}
+
+func TestFTGatesPassThrough(t *testing.T) {
+	raw := circuit.New("ft", 2)
+	raw.Append(
+		circuit.NewOneQubit(circuit.H, 0),
+		circuit.NewOneQubit(circuit.T, 1),
+		circuit.NewOneQubit(circuit.Tdg, 0),
+		circuit.NewOneQubit(circuit.S, 1),
+		circuit.NewOneQubit(circuit.Sdg, 0),
+		circuit.NewOneQubit(circuit.X, 1),
+		circuit.NewOneQubit(circuit.Y, 0),
+		circuit.NewOneQubit(circuit.Z, 1),
+		circuit.NewCNOT(0, 1),
+	)
+	ft := mustFT(t, raw, Options{})
+	if ft.NumGates() != raw.NumGates() {
+		t.Fatalf("FT gates should pass through unchanged: %d -> %d", raw.NumGates(), ft.NumGates())
+	}
+	for i := range raw.Gates {
+		if ft.Gates[i].Type != raw.Gates[i].Type {
+			t.Errorf("gate %d changed type: %s -> %s", i, raw.Gates[i].Type, ft.Gates[i].Type)
+		}
+	}
+}
+
+func TestAncillaSharingReducesQubits(t *testing.T) {
+	raw := circuit.New("many", 6)
+	for i := 0; i < 5; i++ {
+		raw.Append(circuit.NewMCT([]int{0, 1, 2, 3, 4}, 5))
+	}
+	noShare := mustFT(t, raw, Options{})
+	share := mustFT(t, raw, Options{ShareAncilla: true})
+	if share.NumQubits() >= noShare.NumQubits() {
+		t.Errorf("sharing did not reduce ancillas: %d vs %d", share.NumQubits(), noShare.NumQubits())
+	}
+	// Sharing must not change the function: compare the Toffoli-level
+	// variants classically on the original wires.
+	lowNo := mustFT(t, raw, Options{KeepToffoli: true})
+	lowSh := mustFT(t, raw, Options{KeepToffoli: true, ShareAncilla: true})
+	rng := rand.New(rand.NewSource(1))
+	const mask = uint64(63)
+	for trial := 0; trial < 20; trial++ {
+		in := uint64(rng.Intn(64))
+		b1 := sim.BitsFromUint(lowNo.NumQubits(), in)
+		b2 := sim.BitsFromUint(lowSh.NumQubits(), in)
+		if err := b1.RunReversible(lowNo); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.RunReversible(lowSh); err != nil {
+			t.Fatal(err)
+		}
+		if b1.Uint()&mask != b2.Uint()&mask {
+			t.Errorf("input %06b: noshare %b != share %b", in, b1.Uint()&mask, b2.Uint()&mask)
+		}
+	}
+}
+
+func TestCountFTMatchesEmission(t *testing.T) {
+	gates := []circuit.Gate{
+		circuit.NewOneQubit(circuit.H, 0),
+		circuit.NewCNOT(0, 1),
+		circuit.NewSwap(0, 1),
+		circuit.NewToffoli(0, 1, 2),
+		circuit.NewFredkin(0, 1, 2),
+		circuit.NewMCT([]int{0, 1, 2, 3}, 4),
+		circuit.NewMCT([]int{0, 1, 2, 3, 4}, 5),
+		{Type: circuit.MCF, Controls: []int{0, 1}, Targets: []int{2, 3}},
+		{Type: circuit.MCF, Controls: []int{0, 1, 2}, Targets: []int{3, 4}},
+	}
+	for _, g := range gates {
+		raw := circuit.New("one", 6)
+		raw.Append(g)
+		ft := mustFT(t, raw, Options{})
+		if got, want := ft.NumGates(), CountFT(g); got != want {
+			t.Errorf("%s: emitted %d FT gates, CountFT says %d", g.Type, got, want)
+		}
+	}
+}
+
+func TestDecomposePreservesPermutationProperty(t *testing.T) {
+	// Property: lowering to Toffoli level preserves the truth table on the
+	// original wires (ancillas in/out zero) for random reversible circuits.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(2)
+		raw := circuit.New("rand", n)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					raw.Append(circuit.NewCNOT(a, b))
+				}
+			case 1:
+				raw.Append(circuit.NewOneQubit(circuit.X, rng.Intn(n)))
+			default:
+				a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+				if a != b && b != c && a != c {
+					raw.Append(circuit.NewToffoli(a, b, c))
+				}
+			}
+		}
+		ttRaw, err := sim.ReversibleTruthTable(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		low := mustFT(t, raw, Options{KeepToffoli: true})
+		ttLow, err := sim.ReversibleTruthTable(low)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for in := uint64(0); in <= mask; in++ {
+			if ttLow[in]&mask != ttRaw[in] {
+				t.Errorf("trial %d input %b: %b != %b", trial, in, ttLow[in]&mask, ttRaw[in])
+				break
+			}
+		}
+	}
+}
+
+func TestRejectInvalidCircuit(t *testing.T) {
+	raw := circuit.New("bad", 2)
+	raw.Append(circuit.NewToffoli(0, 1, 5))
+	if _, err := ToFT(raw, Options{}); err == nil {
+		t.Error("want validation error")
+	}
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/qspr"
+	"repro/internal/queuemodel"
+	"repro/internal/stats"
+	"repro/internal/tsp"
+)
+
+func mustChannel(capacity int, dUncong float64) queuemodel.Channel {
+	ch, err := queuemodel.NewChannel(capacity, dUncong)
+	if err != nil {
+		// Callers pass validated parameters; a failure here is a
+		// programming error.
+		panic(err)
+	}
+	return ch
+}
+
+// AblationTruncation sweeps the E[S_q] truncation limit on one benchmark and
+// reports how L_CNOT and the final estimate move — the paper's claim that 20
+// terms suffice.
+func AblationTruncation(w io.Writer, name string, p fabric.Params) error {
+	ft, err := benchgen.GenerateFT(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Truncation ablation on %s (Q=%d qubits)\n", name, ft.NumQubits())
+	fmt.Fprintf(w, "%8s %14s %14s\n", "terms", "L_CNOT(µs)", "estimate(s)")
+	var ref float64
+	for _, terms := range []int{1, 2, 5, 10, 20, 50, -1} {
+		est, err := core.New(p, core.Options{Truncation: terms})
+		if err != nil {
+			return err
+		}
+		res, err := est.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", terms)
+		if terms == -1 {
+			label = "all"
+			ref = res.EstimatedLatency
+		}
+		fmt.Fprintf(w, "%8s %14.2f %14.4f\n", label, res.LCNOTAvg, res.EstimatedLatency/1e6)
+	}
+	if ref > 0 {
+		est, _ := core.New(p, core.Options{})
+		res, err := est.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "20-term deviation from exact: %.4f%%\n",
+			stats.AbsErrorPct(ref, res.EstimatedLatency))
+	}
+	return nil
+}
+
+// AblationCongestion compares the full estimator against the
+// congestion-model-disabled variant across the small benchmarks.
+func AblationCongestion(w io.Writer, names []string, p fabric.Params) error {
+	fmt.Fprintln(w, "Congestion-model ablation (LEQA with/without Eq. 8 queueing)")
+	fmt.Fprintf(w, "%-17s %12s %12s %9s\n", "Benchmark", "with(s)", "without(s)", "delta(%)")
+	for _, name := range names {
+		ft, err := benchgen.GenerateFT(name)
+		if err != nil {
+			return err
+		}
+		on, err := core.New(p, core.Options{})
+		if err != nil {
+			return err
+		}
+		off, err := core.New(p, core.Options{DisableCongestion: true})
+		if err != nil {
+			return err
+		}
+		rOn, err := on.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		rOff, err := off.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		delta := stats.AbsErrorPct(rOn.EstimatedLatency, rOff.EstimatedLatency)
+		fmt.Fprintf(w, "%-17s %12.4f %12.4f %9.3f\n",
+			name, rOn.EstimatedLatency/1e6, rOff.EstimatedLatency/1e6, delta)
+	}
+	return nil
+}
+
+// AblationPlacement compares QSPR placement strategies (clustered vs spread
+// vs row-major) on the given benchmarks — a design-choice check for the
+// baseline mapper.
+func AblationPlacement(w io.Writer, names []string, p fabric.Params) error {
+	fmt.Fprintln(w, "QSPR placement ablation (actual latency, seconds)")
+	fmt.Fprintf(w, "%-17s %12s %12s %12s %12s\n", "Benchmark", "clustered", "spaced", "spread", "rowmajor")
+	strategies := []qspr.Placement{qspr.PlaceClustered, qspr.PlaceSpaced, qspr.PlaceSpread, qspr.PlaceRowMajor}
+	for _, name := range names {
+		ft, err := benchgen.GenerateFT(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-17s", name)
+		for _, pl := range strategies {
+			m, err := qspr.New(p, qspr.Options{Placement: pl})
+			if err != nil {
+				return err
+			}
+			res, err := m.Map(ft)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12.4f", res.Latency/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// AblationMeeting compares the greedy CNOT meeting-point policy against
+// midpoint meeting in QSPR.
+func AblationMeeting(w io.Writer, names []string, p fabric.Params) error {
+	fmt.Fprintln(w, "QSPR CNOT meeting-policy ablation (actual latency, seconds)")
+	fmt.Fprintf(w, "%-17s %12s %12s\n", "Benchmark", "greedy", "midpoint")
+	for _, name := range names {
+		ft, err := benchgen.GenerateFT(name)
+		if err != nil {
+			return err
+		}
+		greedy, err := qspr.New(p, qspr.Options{})
+		if err != nil {
+			return err
+		}
+		mid, err := qspr.New(p, qspr.Options{MidpointMeeting: true})
+		if err != nil {
+			return err
+		}
+		rg, err := greedy.Map(ft)
+		if err != nil {
+			return err
+		}
+		rm, err := mid.Map(ft)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-17s %12.4f %12.4f\n", name, rg.Latency/1e6, rm.Latency/1e6)
+	}
+	return nil
+}
+
+// AblationTSPBound validates the Eq. 15 closed form against exact Held–Karp
+// Monte Carlo: for small partner counts, the estimated Hamiltonian path in a
+// unit zone vs the measured expectation.
+func AblationTSPBound(w io.Writer, seed int64) error {
+	fmt.Fprintln(w, "Eq. 15 closed form vs exact Held-Karp Monte Carlo (unit square)")
+	fmt.Fprintf(w, "%4s %12s %12s %9s\n", "m", "Eq.15", "MonteCarlo", "dev(%)")
+	rng := rand.New(rand.NewSource(seed))
+	for _, m := range []int{2, 3, 5, 8, 11} {
+		closed := tsp.ExpectedHamiltonianPath(m, 1)
+		mc, err := tsp.MonteCarloPathLength(m+1, 200, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%4d %12.4f %12.4f %9.2f\n", m, closed, mc, stats.AbsErrorPct(mc, closed))
+	}
+	fmt.Fprintln(w, "(Eq. 13-14 are asymptotic; small-m deviation is expected and absorbed by 𝓋.)")
+	return nil
+}
+
+// AblationChannelCapacity sweeps Nc and reports both tools' latencies on one
+// benchmark — how sensitive the fabric is to channel width.
+func AblationChannelCapacity(w io.Writer, name string, p fabric.Params) error {
+	ft, err := benchgen.GenerateFT(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Channel-capacity sweep on %s\n", name)
+	fmt.Fprintf(w, "%4s %14s %14s\n", "Nc", "QSPR act(s)", "LEQA est(s)")
+	for _, nc := range []int{1, 2, 5, 10, 20} {
+		q := p.Clone()
+		q.ChannelCapacity = nc
+		m, err := qspr.New(q, qspr.Options{})
+		if err != nil {
+			return err
+		}
+		act, err := m.Map(ft)
+		if err != nil {
+			return err
+		}
+		e, err := core.New(q, core.Options{})
+		if err != nil {
+			return err
+		}
+		est, err := e.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%4d %14.4f %14.4f\n", nc, act.Latency/1e6, est.EstimatedLatency/1e6)
+	}
+	return nil
+}
+
+// FabricSizeSweep reruns LEQA over a range of fabric sizes — the use case
+// the paper calls out ("this value can be changed to find the optimal size
+// for the fabric").
+func FabricSizeSweep(w io.Writer, name string, p fabric.Params, sizes []int) error {
+	ft, err := benchgen.GenerateFT(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fabric-size sweep on %s (LEQA estimate per size)\n", name)
+	fmt.Fprintf(w, "%8s %14s %12s\n", "fabric", "estimate(s)", "L_CNOT(µs)")
+	for _, s := range sizes {
+		q := p.Clone()
+		q.Grid = fabric.Grid{Width: s, Height: s}
+		if q.Grid.Area() < ft.NumQubits() {
+			fmt.Fprintf(w, "%5dx%-3d %14s %12s\n", s, s, "too small", "-")
+			continue
+		}
+		e, err := core.New(q, core.Options{})
+		if err != nil {
+			return err
+		}
+		res, err := e.Estimate(ft)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%5dx%-3d %14.4f %12.1f\n", s, s, res.EstimatedLatency/1e6, res.LCNOTAvg)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package fabric
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// The physical-parameter config format is a flat key/value text file
+// mirroring Table 1 (all delays in µs):
+//
+//	# comment
+//	d_H     5440
+//	d_T     10940       # applies to T and T†
+//	d_X     5240        # applies to X, Y, Z
+//	d_S     5240        # applies to S, S†
+//	d_CNOT  4930
+//	Nc      5
+//	v       0.001
+//	fabric  60x60
+//	Tmove   100
+//
+// Individual gate keys (d_Y, d_Z, d_Tdg, d_Sdg) override the grouped ones.
+
+// ParseConfig reads a parameter file, starting from the Table 1 defaults so
+// partial files are valid.
+func ParseConfig(r io.Reader) (Params, error) {
+	p := Default()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return p, fmt.Errorf("config line %d: want `key value`, got %q", lineno, line)
+		}
+		key, val := fields[0], fields[1]
+		if err := applyConfigKey(&p, key, val); err != nil {
+			return p, fmt.Errorf("config line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return p, err
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func applyConfigKey(p *Params, key, val string) error {
+	parseF := func() (float64, error) {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %s: bad number %q", key, val)
+		}
+		return f, nil
+	}
+	setDelay := func(types ...circuit.GateType) error {
+		f, err := parseF()
+		if err != nil {
+			return err
+		}
+		for _, t := range types {
+			p.GateDelay[t] = f
+		}
+		return nil
+	}
+	switch key {
+	case "d_H":
+		return setDelay(circuit.H)
+	case "d_T":
+		return setDelay(circuit.T, circuit.Tdg)
+	case "d_Tdg", "d_T*":
+		return setDelay(circuit.Tdg)
+	case "d_S":
+		return setDelay(circuit.S, circuit.Sdg)
+	case "d_Sdg", "d_S*":
+		return setDelay(circuit.Sdg)
+	case "d_X":
+		return setDelay(circuit.X, circuit.Y, circuit.Z)
+	case "d_Y":
+		return setDelay(circuit.Y)
+	case "d_Z":
+		return setDelay(circuit.Z)
+	case "d_CNOT":
+		f, err := parseF()
+		if err != nil {
+			return err
+		}
+		p.DCNOT = f
+		return nil
+	case "Nc":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("key Nc: bad integer %q", val)
+		}
+		p.ChannelCapacity = n
+		return nil
+	case "v":
+		f, err := parseF()
+		if err != nil {
+			return err
+		}
+		p.QubitSpeed = f
+		return nil
+	case "Tmove", "T_move":
+		f, err := parseF()
+		if err != nil {
+			return err
+		}
+		p.TMove = f
+		return nil
+	case "fabric", "A":
+		parts := strings.SplitN(strings.ToLower(val), "x", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("key fabric: want WxH, got %q", val)
+		}
+		w, err1 := strconv.Atoi(parts[0])
+		h, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("key fabric: want WxH integers, got %q", val)
+		}
+		p.Grid = Grid{Width: w, Height: h}
+		return nil
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+// WriteConfig renders the parameter set in the config format; ParseConfig
+// round-trips it.
+func WriteConfig(w io.Writer, p Params) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# TQA physical parameters (times in µs)")
+	// Emit per-gate delays deterministically; grouped keys would lose
+	// overrides, so write each gate type explicitly.
+	keys := make([]circuit.GateType, 0, len(p.GateDelay))
+	for t := range p.GateDelay {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	name := map[circuit.GateType]string{
+		circuit.H: "d_H", circuit.T: "d_T", circuit.Tdg: "d_Tdg",
+		circuit.S: "d_S", circuit.Sdg: "d_Sdg",
+		circuit.X: "d_X", circuit.Y: "d_Y", circuit.Z: "d_Z",
+	}
+	for _, t := range keys {
+		k, ok := name[t]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(bw, "%-8s %g\n", k, p.GateDelay[t])
+	}
+	fmt.Fprintf(bw, "%-8s %g\n", "d_CNOT", p.DCNOT)
+	fmt.Fprintf(bw, "%-8s %d\n", "Nc", p.ChannelCapacity)
+	fmt.Fprintf(bw, "%-8s %g\n", "v", p.QubitSpeed)
+	fmt.Fprintf(bw, "%-8s %dx%d\n", "fabric", p.Grid.Width, p.Grid.Height)
+	fmt.Fprintf(bw, "%-8s %g\n", "Tmove", p.TMove)
+	return bw.Flush()
+}
+
+// LoadConfigFile parses a parameter file from disk.
+func LoadConfigFile(path string) (Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Params{}, err
+	}
+	defer f.Close()
+	return ParseConfig(f)
+}

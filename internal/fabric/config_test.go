@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestParseConfigDefaultsWhenEmpty(t *testing.T) {
+	p, err := ParseConfig(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Default()
+	if p.DCNOT != def.DCNOT || p.ChannelCapacity != def.ChannelCapacity {
+		t.Error("empty config should keep Table 1 defaults")
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	src := `
+# custom fabric
+d_H     1000
+d_T     2000
+d_CNOT  500
+Nc      3
+v       0.01
+fabric  20x30
+Tmove   50
+`
+	p, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := p.DelayOf(circuit.H); d != 1000 {
+		t.Errorf("d_H = %v", d)
+	}
+	if d, _ := p.DelayOf(circuit.Tdg); d != 2000 {
+		t.Errorf("grouped d_T should set T†: %v", d)
+	}
+	if p.DCNOT != 500 || p.ChannelCapacity != 3 || p.QubitSpeed != 0.01 || p.TMove != 50 {
+		t.Errorf("scalars wrong: %+v", p)
+	}
+	if p.Grid.Width != 20 || p.Grid.Height != 30 {
+		t.Errorf("grid = %dx%d", p.Grid.Width, p.Grid.Height)
+	}
+}
+
+func TestParseConfigPerGateOverride(t *testing.T) {
+	src := "d_X 100\nd_Y 999\n"
+	p, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := p.DelayOf(circuit.X); d != 100 {
+		t.Errorf("d_X = %v", d)
+	}
+	if d, _ := p.DelayOf(circuit.Y); d != 999 {
+		t.Errorf("d_Y override lost: %v", d)
+	}
+	if d, _ := p.DelayOf(circuit.Z); d != 100 {
+		t.Errorf("d_Z should follow grouped d_X: %v", d)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":   "bogus 5\n",
+		"bad number":    "d_H abc\n",
+		"bad fabric":    "fabric 60by60\n",
+		"missing value": "d_H\n",
+		"extra field":   "d_H 5 6\n",
+		"invalid after": "Nc 0\n", // fails Validate
+		"bad Nc":        "Nc x\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.DCNOT = 1234
+	orig.QubitSpeed = 0.0042
+	orig.Grid = Grid{Width: 17, Height: 23}
+	orig.GateDelay[circuit.Y] = 7777
+
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DCNOT != orig.DCNOT || back.QubitSpeed != orig.QubitSpeed ||
+		back.Grid != orig.Grid || back.TMove != orig.TMove ||
+		back.ChannelCapacity != orig.ChannelCapacity {
+		t.Errorf("scalars changed: %+v vs %+v", back, orig)
+	}
+	for gt, d := range orig.GateDelay {
+		if back.GateDelay[gt] != d {
+			t.Errorf("delay %s changed: %v -> %v", gt, d, back.GateDelay[gt])
+		}
+	}
+}
+
+func TestLoadConfigFileMissing(t *testing.T) {
+	if _, err := LoadConfigFile("/nonexistent/params.conf"); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,322 @@
+// Package gf2 implements polynomial arithmetic over GF(2) — multiplication,
+// modular reduction, GCD and irreducibility testing — used to construct and
+// verify the field polynomials behind the gf2^n-multiplier benchmark family
+// (Table 2/3 of the LEQA paper) and to functionally check the generated
+// multiplier netlists on small fields.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Poly is a polynomial over GF(2), little-endian: word i holds coefficients
+// of x^(64i) .. x^(64i+63). The zero polynomial is an empty or all-zero
+// slice.
+type Poly []uint64
+
+// NewPoly builds a polynomial from its exponent list, e.g. NewPoly(8, 4, 3,
+// 1, 0) = x^8+x^4+x^3+x+1 (AES field polynomial).
+func NewPoly(exponents ...int) Poly {
+	var p Poly
+	for _, e := range exponents {
+		p = p.SetBit(e)
+	}
+	return p
+}
+
+// SetBit returns p with the coefficient of x^e flipped on.
+func (p Poly) SetBit(e int) Poly {
+	word, bit := e/64, uint(e%64)
+	out := make(Poly, max(len(p), word+1))
+	copy(out, p)
+	out[word] |= 1 << bit
+	return out
+}
+
+// Bit returns the coefficient of x^e.
+func (p Poly) Bit(e int) bool {
+	word, bit := e/64, uint(e%64)
+	return word < len(p) && p[word]&(1<<bit) != 0
+}
+
+// Degree returns the polynomial degree, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(p[i])
+		}
+	}
+	return -1
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.Degree() < 0 }
+
+// trim drops leading zero words.
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Clone copies p.
+func (p Poly) Clone() Poly {
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
+}
+
+// Add returns p + q (XOR).
+func (p Poly) Add(q Poly) Poly {
+	a, b := p, q
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make(Poly, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] ^= b[i]
+	}
+	return out.trim()
+}
+
+// ShiftLeft returns p · x^k.
+func (p Poly) ShiftLeft(k int) Poly {
+	if p.IsZero() || k == 0 {
+		return p.Clone().trim()
+	}
+	words, rem := k/64, uint(k%64)
+	out := make(Poly, len(p)+words+1)
+	for i := len(p) - 1; i >= 0; i-- {
+		out[i+words] ^= p[i] << rem
+		if rem != 0 {
+			out[i+words+1] ^= p[i] >> (64 - rem)
+		}
+	}
+	return out.trim()
+}
+
+// Mul returns p · q (carry-less multiplication).
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q))
+	for i, w := range p {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			shift := i*64 + b
+			words, rem := shift/64, uint(shift%64)
+			for j, qw := range q {
+				out[j+words] ^= qw << rem
+				if rem != 0 && j+words+1 < len(out) {
+					out[j+words+1] ^= qw >> (64 - rem)
+				}
+			}
+		}
+	}
+	return out.trim()
+}
+
+// Mod returns p mod m. m must be nonzero.
+func (p Poly) Mod(m Poly) (Poly, error) {
+	dm := m.Degree()
+	if dm < 0 {
+		return nil, fmt.Errorf("gf2: modulo by zero polynomial")
+	}
+	r := p.Clone()
+	for {
+		dr := r.Degree()
+		if dr < dm {
+			return r.trim(), nil
+		}
+		r = r.Add(m.ShiftLeft(dr - dm))
+	}
+}
+
+// MulMod returns p·q mod m.
+func (p Poly) MulMod(q, m Poly) (Poly, error) {
+	return p.Mul(q).Mod(m)
+}
+
+// GCD returns gcd(p, q).
+func GCD(p, q Poly) Poly {
+	a, b := p.Clone().trim(), q.Clone().trim()
+	for !b.IsZero() {
+		r, _ := a.Mod(b) // b nonzero by loop condition
+		a, b = b, r
+	}
+	return a
+}
+
+// Equal reports whether p and q represent the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	a, b := p.trim(), q.trim()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial in x^a+x^b+... form, highest degree first.
+func (p Poly) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	s := ""
+	for e := d; e >= 0; e-- {
+		if !p.Bit(e) {
+			continue
+		}
+		if s != "" {
+			s += "+"
+		}
+		switch e {
+		case 0:
+			s += "1"
+		case 1:
+			s += "x"
+		default:
+			s += fmt.Sprintf("x^%d", e)
+		}
+	}
+	return s
+}
+
+// one is the constant polynomial 1.
+var one = NewPoly(0)
+
+// xPoly is the monomial x.
+var xPoly = NewPoly(1)
+
+// IsIrreducible tests irreducibility over GF(2) using the standard
+// Rabin-style criterion: f of degree n is irreducible iff
+// x^(2^n) ≡ x (mod f) and gcd(x^(2^(n/p)) − x, f) = 1 for every prime
+// divisor p of n.
+func IsIrreducible(f Poly) bool {
+	n := f.Degree()
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	if !f.Bit(0) {
+		return false // divisible by x
+	}
+	// h = x^(2^k) mod f, built by repeated squaring.
+	frob := func(k int) Poly {
+		h := xPoly
+		for i := 0; i < k; i++ {
+			h2, _ := h.MulMod(h, f)
+			h = h2
+		}
+		return h
+	}
+	// Condition 1: x^(2^n) == x (mod f).
+	if !frob(n).Equal(xPoly) {
+		return false
+	}
+	// Condition 2: for each prime p | n, gcd(x^(2^(n/p)) + x, f) == 1.
+	for _, p := range primeDivisors(n) {
+		g := GCD(frob(n/p).Add(xPoly), f)
+		if !g.Equal(one) {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// FieldPoly returns a verified irreducible polynomial of degree n for the
+// GF(2^n) multiplier benchmarks. The table lists the low-weight (trinomial
+// or pentanomial) exponents from standard tables; each entry is
+// irreducibility-checked once at first use.
+func FieldPoly(n int) (Poly, error) {
+	exps, ok := fieldPolyTable[n]
+	if !ok {
+		// Fall back to a search over low-weight polynomials.
+		return searchIrreducible(n)
+	}
+	p := NewPoly(append([]int{n, 0}, exps...)...)
+	if !IsIrreducible(p) {
+		return nil, fmt.Errorf("gf2: table polynomial for n=%d is not irreducible: %s", n, p)
+	}
+	return p, nil
+}
+
+// fieldPolyTable holds the middle exponents (beyond x^n and 1) of known
+// irreducible tri/pentanomials over GF(2).
+var fieldPolyTable = map[int][]int{
+	2:   {1},
+	3:   {1},
+	4:   {1},
+	5:   {2},
+	6:   {1},
+	7:   {1},
+	8:   {4, 3, 1},
+	16:  {5, 3, 1},
+	18:  {3},
+	19:  {5, 2, 1},
+	20:  {3},
+	32:  {7, 3, 2},
+	50:  {4, 3, 2},
+	64:  {4, 3, 1},
+	100: {15},
+	128: {7, 2, 1},
+	256: {10, 5, 2},
+}
+
+// searchIrreducible scans trinomials then pentanomials of degree n for an
+// irreducible one.
+func searchIrreducible(n int) (Poly, error) {
+	for k := 1; k < n; k++ {
+		p := NewPoly(n, k, 0)
+		if IsIrreducible(p) {
+			return p, nil
+		}
+	}
+	for a := 1; a < n; a++ {
+		for b := 1; b < a; b++ {
+			for c := 1; c < b; c++ {
+				p := NewPoly(n, a, b, c, 0)
+				if IsIrreducible(p) {
+					return p, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("gf2: no low-weight irreducible polynomial found for degree %d", n)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

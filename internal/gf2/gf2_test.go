@@ -1,0 +1,297 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPolyAndBits(t *testing.T) {
+	p := NewPoly(8, 4, 3, 1, 0)
+	for _, e := range []int{8, 4, 3, 1, 0} {
+		if !p.Bit(e) {
+			t.Errorf("bit %d not set", e)
+		}
+	}
+	for _, e := range []int{2, 5, 6, 7, 9, 100} {
+		if p.Bit(e) {
+			t.Errorf("bit %d unexpectedly set", e)
+		}
+	}
+	if p.Degree() != 8 {
+		t.Errorf("degree = %d", p.Degree())
+	}
+}
+
+func TestZeroPoly(t *testing.T) {
+	var z Poly
+	if !z.IsZero() || z.Degree() != -1 {
+		t.Error("zero polynomial misreported")
+	}
+	if z.String() != "0" {
+		t.Errorf("zero string = %q", z.String())
+	}
+}
+
+func TestAddSelfInverse(t *testing.T) {
+	p := NewPoly(5, 3, 0)
+	if !p.Add(p).IsZero() {
+		t.Error("p+p != 0 over GF(2)")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := NewPoly(8, 1, 0)
+	if got := p.String(); got != "x^8+x+1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	// (x+1)(x+1) = x²+1 over GF(2).
+	p := NewPoly(1, 0)
+	sq := p.Mul(p)
+	if !sq.Equal(NewPoly(2, 0)) {
+		t.Errorf("(x+1)² = %s", sq)
+	}
+	// (x²+x)(x+1) = x³+x.
+	a := NewPoly(2, 1)
+	b := NewPoly(1, 0)
+	if got := a.Mul(b); !got.Equal(NewPoly(3, 1)) {
+		t.Errorf("(x²+x)(x+1) = %s", got)
+	}
+	if !a.Mul(Poly(nil)).IsZero() {
+		t.Error("p·0 != 0")
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	p := NewPoly(1, 0)
+	if got := p.ShiftLeft(64); !got.Equal(NewPoly(65, 64)) {
+		t.Errorf("shift across word = %s", got)
+	}
+	if got := p.ShiftLeft(0); !got.Equal(p) {
+		t.Errorf("shift 0 = %s", got)
+	}
+}
+
+func TestModBasic(t *testing.T) {
+	// x^4 mod (x^2+1) = 1 (since x^2 ≡ 1, x^4 ≡ 1).
+	m := NewPoly(2, 0)
+	r, err := NewPoly(4).Mod(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(NewPoly(0)) {
+		t.Errorf("x^4 mod x^2+1 = %s, want 1", r)
+	}
+	if _, err := NewPoly(3).Mod(Poly(nil)); err == nil {
+		t.Error("mod by zero should error")
+	}
+}
+
+func TestMulModMatchesUint(t *testing.T) {
+	// Cross-check against uint64 carry-less multiplication in GF(2^8)
+	// with the AES polynomial.
+	aes := NewPoly(8, 4, 3, 1, 0)
+	mulUint := func(a, b uint64) uint64 {
+		var r uint64
+		for i := 0; i < 8; i++ {
+			if b&(1<<uint(i)) != 0 {
+				r ^= a << uint(i)
+			}
+		}
+		// Reduce by 0x11B.
+		for d := 15; d >= 8; d-- {
+			if r&(1<<uint(d)) != 0 {
+				r ^= 0x11B << uint(d-8)
+			}
+		}
+		return r
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a, b := uint64(rng.Intn(256)), uint64(rng.Intn(256))
+		pa, pb := polyFromUint(a), polyFromUint(b)
+		got, err := pa.MulMod(pb, aes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mulUint(a, b); uintFromPoly(got) != want {
+			t.Errorf("%#x·%#x = %#x, want %#x", a, b, uintFromPoly(got), want)
+		}
+	}
+}
+
+func polyFromUint(v uint64) Poly {
+	var p Poly
+	for i := 0; i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			p = p.SetBit(i)
+		}
+	}
+	return p
+}
+
+func uintFromPoly(p Poly) uint64 {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+func TestGCD(t *testing.T) {
+	// gcd((x+1)·(x²+x+1), (x+1)·x) = x+1.
+	a := NewPoly(1, 0).Mul(NewPoly(2, 1, 0))
+	b := NewPoly(1, 0).Mul(NewPoly(1))
+	g := GCD(a, b)
+	if !g.Equal(NewPoly(1, 0)) {
+		t.Errorf("gcd = %s, want x+1", g)
+	}
+}
+
+func TestIsIrreducibleKnown(t *testing.T) {
+	irreducible := []Poly{
+		NewPoly(1, 0),          // x+1
+		NewPoly(2, 1, 0),       // x²+x+1
+		NewPoly(3, 1, 0),       // x³+x+1
+		NewPoly(4, 1, 0),       // x⁴+x+1
+		NewPoly(8, 4, 3, 1, 0), // AES
+	}
+	for _, p := range irreducible {
+		if !IsIrreducible(p) {
+			t.Errorf("%s should be irreducible", p)
+		}
+	}
+	reducible := []Poly{
+		NewPoly(2, 0),    // x²+1 = (x+1)²
+		NewPoly(3, 0),    // x³+1 = (x+1)(x²+x+1)
+		NewPoly(4, 2, 0), // (x²+x+1)²
+		NewPoly(2),       // x² (divisible by x)
+		NewPoly(0),       // constant
+	}
+	for _, p := range reducible {
+		if IsIrreducible(p) {
+			t.Errorf("%s should be reducible", p)
+		}
+	}
+}
+
+func TestIsIrreducibleMatchesBruteForce(t *testing.T) {
+	// Exhaustive comparison against trial division for all polynomials of
+	// degree ≤ 8.
+	for bitsRep := uint64(2); bitsRep < 512; bitsRep++ {
+		p := polyFromUint(bitsRep)
+		want := bruteIrreducible(bitsRep)
+		if got := IsIrreducible(p); got != want {
+			t.Errorf("%s: IsIrreducible=%v, brute force=%v", p, got, want)
+		}
+	}
+}
+
+// bruteIrreducible tests irreducibility of the degree-d polynomial encoded
+// in v by trial division over all lower-degree polynomials.
+func bruteIrreducible(v uint64) bool {
+	deg := 63 - leadingZeros(v)
+	if deg <= 0 {
+		return deg == 1
+	}
+	for q := uint64(2); q < 1<<uint(deg); q++ {
+		if polyDeg(q) < 1 {
+			continue
+		}
+		if polyModUint(v, q) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func polyDeg(v uint64) int { return 63 - leadingZeros(v) }
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+func polyModUint(a, m uint64) uint64 {
+	dm := polyDeg(m)
+	for polyDeg(a) >= dm && a != 0 {
+		a ^= m << uint(polyDeg(a)-dm)
+	}
+	return a
+}
+
+func TestFieldPolyTableAllIrreducible(t *testing.T) {
+	for n := range fieldPolyTable {
+		p, err := FieldPoly(n)
+		if err != nil {
+			t.Errorf("n=%d: %v", n, err)
+			continue
+		}
+		if p.Degree() != n {
+			t.Errorf("n=%d: degree %d", n, p.Degree())
+		}
+		if !IsIrreducible(p) {
+			t.Errorf("n=%d: %s not irreducible", n, p)
+		}
+	}
+}
+
+func TestFieldPolySearchFallback(t *testing.T) {
+	// 9 is not in the table; the search must find x^9+x+1 or similar.
+	p, err := FieldPoly(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree() != 9 || !IsIrreducible(p) {
+		t.Errorf("fallback gave %s", p)
+	}
+}
+
+func TestMulCommutativeProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pa, pb := polyFromUint(uint64(a)), polyFromUint(uint64(b))
+		return pa.Mul(pb).Equal(pb.Mul(pa))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		pa, pb, pc := polyFromUint(uint64(a)), polyFromUint(uint64(b)), polyFromUint(uint64(c))
+		left := pa.Mul(pb.Add(pc))
+		right := pa.Mul(pb).Add(pa.Mul(pc))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModIdempotentProperty(t *testing.T) {
+	m := NewPoly(16, 5, 3, 1, 0)
+	f := func(a uint64) bool {
+		p := polyFromUint(a)
+		r1, err1 := p.Mod(m)
+		if err1 != nil {
+			return false
+		}
+		r2, err2 := r1.Mod(m)
+		if err2 != nil {
+			return false
+		}
+		return r1.Equal(r2) && r1.Degree() < 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

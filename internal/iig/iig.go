@@ -1,0 +1,232 @@
+// Package iig implements the Interaction Intensity Graph of LEQA §3.1:
+// an undirected weighted graph whose nodes are logical qubits and whose edge
+// weights count the two-qubit operations between each qubit pair. The graph
+// has no self loops (one-qubit operations add nothing).
+//
+// From the IIG the package derives the quantities LEQA consumes: per-qubit
+// degree M_i, per-qubit adjacent weight sum ΣW_i, presence-zone areas
+// B_i = M_i + 1 (Eq. 6) and the fabric-wide weighted average B (Eq. 7).
+package iig
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Graph is the interaction intensity graph over Q logical qubits.
+type Graph struct {
+	// Q is the number of logical qubits (nodes), including isolated ones.
+	Q int
+	// adj[i] maps neighbor j -> w(e_ij). Symmetric: adj[i][j] == adj[j][i].
+	adj []map[int]int
+	// totalWeight is Σ_ij w(e_ij) over unordered pairs.
+	totalWeight int
+}
+
+// Build constructs the IIG from a circuit: every gate touching exactly two
+// qubits contributes weight 1 to the edge between them. Gates touching three
+// or more qubits should have been decomposed already; they are rejected so
+// that silent modeling errors cannot creep in.
+func Build(c *circuit.Circuit) (*Graph, error) {
+	g := NewEmpty(c.NumQubits())
+	for i, gate := range c.Gates {
+		switch gate.Arity() {
+		case 1:
+			// One-qubit operations add no IIG edges.
+		case 2:
+			qs := gate.Qubits()
+			g.AddInteraction(qs[0], qs[1])
+		default:
+			return nil, fmt.Errorf("iig: gate %d (%s) touches %d qubits; decompose first",
+				i, gate.Type, gate.Arity())
+		}
+	}
+	return g, nil
+}
+
+// NewEmpty returns an IIG with q isolated qubits.
+func NewEmpty(q int) *Graph {
+	adj := make([]map[int]int, q)
+	for i := range adj {
+		adj[i] = make(map[int]int)
+	}
+	return &Graph{Q: q, adj: adj}
+}
+
+// AddInteraction records one two-qubit operation between a and b.
+func (g *Graph) AddInteraction(a, b int) {
+	if a == b {
+		return // no self loops by construction
+	}
+	g.adj[a][b]++
+	g.adj[b][a]++
+	g.totalWeight++
+}
+
+// Degree returns M_i = deg(n_i), the number of distinct interaction
+// partners of qubit i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// AdjWeightSum returns ΣW_i = Σ_{j ∈ adj(i)} w(e_ij).
+func (g *Graph) AdjWeightSum(i int) int {
+	s := 0
+	for _, w := range g.adj[i] {
+		s += w
+	}
+	return s
+}
+
+// Weight returns w(e_ab), 0 if absent.
+func (g *Graph) Weight(a, b int) int { return g.adj[a][b] }
+
+// TotalWeight returns the total two-qubit operation count (Σ over unordered
+// pairs of w(e_ij)); equals the circuit's two-qubit gate count.
+func (g *Graph) TotalWeight() int { return g.totalWeight }
+
+// NumEdges returns the number of distinct interacting pairs.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for i := range g.adj {
+		n += len(g.adj[i])
+	}
+	return n / 2
+}
+
+// Neighbors returns qubit i's interaction partners in ascending order.
+func (g *Graph) Neighbors(i int) []int {
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ZoneArea returns B_i = √(M_i+1) · √(M_i+1) = M_i + 1 (Eq. 6), the modeled
+// presence-zone area of qubit i in ULB units.
+func (g *Graph) ZoneArea(i int) float64 { return float64(g.Degree(i) + 1) }
+
+// AverageZoneArea computes B (Eq. 7): the average of B_i over all qubits,
+// weighted by each qubit's adjacent edge-weight sum ΣW_i. Qubits that never
+// interact carry zero weight and drop out. Returns 1 (a single-ULB zone) if
+// no qubit interacts at all, so downstream geometry stays well defined.
+func (g *Graph) AverageZoneArea() float64 {
+	num, den := 0.0, 0.0
+	for i := 0; i < g.Q; i++ {
+		w := float64(g.AdjWeightSum(i))
+		num += w * g.ZoneArea(i)
+		den += w
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// WeightedAverage computes Σ_i ΣW_i·f(i) / Σ_i ΣW_i — the Eq. 7/Eq. 12
+// weighting pattern over arbitrary per-qubit values. Returns 0 when no qubit
+// interacts.
+func (g *Graph) WeightedAverage(f func(i int) float64) float64 {
+	num, den := 0.0, 0.0
+	for i := 0; i < g.Q; i++ {
+		w := float64(g.AdjWeightSum(i))
+		if w == 0 {
+			continue
+		}
+		num += w * f(i)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// InteractingQubits returns the qubits with M_i > 0, ascending.
+func (g *Graph) InteractingQubits() []int {
+	out := make([]int, 0, g.Q)
+	for i := 0; i < g.Q; i++ {
+		if len(g.adj[i]) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Edge is one undirected IIG edge with its weight.
+type Edge struct {
+	A, B   int // A < B
+	Weight int
+}
+
+// Edges lists all edges sorted by (A, B); deterministic for reports and
+// placement seeds.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for a := 0; a < g.Q; a++ {
+		for b, w := range g.adj[a] {
+			if a < b {
+				out = append(out, Edge{A: a, B: b, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// BFSOrder returns all Q qubits in breadth-first order over the IIG,
+// starting from the highest-ΣW qubit of each connected component, visiting
+// heavier edges first. QSPR's clustered placement uses this to put strongly
+// interacting qubits near each other on the fabric.
+func (g *Graph) BFSOrder() []int {
+	visited := make([]bool, g.Q)
+	order := make([]int, 0, g.Q)
+
+	// Component seeds: all qubits sorted by descending ΣW, ties by index.
+	seeds := make([]int, g.Q)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(a, b int) bool {
+		wa, wb := g.AdjWeightSum(seeds[a]), g.AdjWeightSum(seeds[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return seeds[a] < seeds[b]
+	})
+
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		queue := []int{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			nbrs := g.Neighbors(u)
+			sort.Slice(nbrs, func(a, b int) bool {
+				wa, wb := g.adj[u][nbrs[a]], g.adj[u][nbrs[b]]
+				if wa != wb {
+					return wa > wb
+				}
+				return nbrs[a] < nbrs[b]
+			})
+			for _, v := range nbrs {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,239 @@
+// Package qodg implements the Quantum Operation Dependency Graph of the
+// LEQA paper (§2, Fig. 2b): nodes are FT quantum operations, edges capture
+// data dependencies through logical qubits, and dedicated start/end nodes
+// anchor the first- and last-level operations. Parallel edges between the
+// same node pair are merged.
+//
+// The graph is a DAG whose node order is already topological (gates are
+// appended in program order; edges only go from earlier to later gates), so
+// longest-path queries run in a single linear sweep.
+package qodg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// NodeID indexes nodes in a Graph. Start is always 0; End is always
+// len(Nodes)-1; operation nodes occupy 1..len(Nodes)-2 in program order.
+type NodeID int
+
+// Node is one vertex of the QODG.
+type Node struct {
+	ID NodeID
+	// Op is the gate this node represents. The zero Gate (Type ==
+	// circuit.Invalid) marks the start and end pseudo-nodes.
+	Op circuit.Gate
+	// GateIndex is the index of Op in the source circuit, or -1 for the
+	// start/end nodes.
+	GateIndex int
+}
+
+// IsPseudo reports whether the node is the start or end anchor.
+func (n Node) IsPseudo() bool { return n.GateIndex < 0 }
+
+// Graph is the QODG. Edges are stored as forward adjacency lists; merged
+// parallel edges appear once.
+type Graph struct {
+	Nodes []Node
+	// Succ[i] lists the successors of node i in increasing order.
+	Succ [][]NodeID
+	// Pred[i] lists the predecessors of node i in increasing order.
+	Pred [][]NodeID
+	// NumQubits is the register size of the source circuit.
+	NumQubits int
+	edgeCount int
+}
+
+// Start returns the start pseudo-node's ID (always 0).
+func (g *Graph) Start() NodeID { return 0 }
+
+// End returns the end pseudo-node's ID.
+func (g *Graph) End() NodeID { return NodeID(len(g.Nodes) - 1) }
+
+// NumNodes returns |V| including the two pseudo-nodes.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns |E| after parallel-edge merging.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// Build constructs the QODG from a circuit. Dependencies follow the last
+// operation that touched each qubit; the start node feeds each qubit's first
+// operation and each qubit's final operation feeds the end node. If two
+// dependency edges connect the same ordered node pair (e.g. a CNOT followed
+// immediately by another CNOT on the same two qubits) they are merged.
+func Build(c *circuit.Circuit) (*Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nOps := len(c.Gates)
+	g := &Graph{
+		Nodes:     make([]Node, nOps+2),
+		Succ:      make([][]NodeID, nOps+2),
+		Pred:      make([][]NodeID, nOps+2),
+		NumQubits: c.NumQubits(),
+	}
+	g.Nodes[0] = Node{ID: 0, GateIndex: -1}
+	for i, gate := range c.Gates {
+		g.Nodes[i+1] = Node{ID: NodeID(i + 1), Op: gate, GateIndex: i}
+	}
+	end := NodeID(nOps + 1)
+	g.Nodes[end] = Node{ID: end, GateIndex: -1}
+
+	last := make([]NodeID, c.NumQubits()) // last node touching each qubit; 0 = start
+	for i, gate := range c.Gates {
+		id := NodeID(i + 1)
+		for _, q := range gate.Qubits() {
+			g.addEdge(last[q], id)
+			last[q] = id
+		}
+	}
+	for q := 0; q < c.NumQubits(); q++ {
+		g.addEdge(last[q], end)
+	}
+	g.sortAdj()
+	return g, nil
+}
+
+// addEdge inserts from→to, merging duplicates. Adjacency lists are built
+// unsorted and deduplicated in sortAdj; during construction we do a cheap
+// tail check since duplicate edges almost always arrive consecutively.
+func (g *Graph) addEdge(from, to NodeID) {
+	succ := g.Succ[from]
+	if n := len(succ); n > 0 && succ[n-1] == to {
+		return // consecutive duplicate (two-qubit op on same pair)
+	}
+	g.Succ[from] = append(succ, to)
+	g.Pred[to] = append(g.Pred[to], from)
+	g.edgeCount++
+}
+
+// sortAdj sorts adjacency lists and removes any remaining duplicates.
+func (g *Graph) sortAdj() {
+	dedup := func(list []NodeID) []NodeID {
+		if len(list) < 2 {
+			return list
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out := list[:1]
+		for _, v := range list[1:] {
+			if v != out[len(out)-1] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	removed := 0
+	for i := range g.Succ {
+		before := len(g.Succ[i])
+		g.Succ[i] = dedup(g.Succ[i])
+		removed += before - len(g.Succ[i])
+	}
+	for i := range g.Pred {
+		g.Pred[i] = dedup(g.Pred[i])
+	}
+	g.edgeCount -= removed
+}
+
+// Weights assigns a latency to every node. Pseudo-nodes must have weight 0.
+type Weights []float64
+
+// NewWeights builds a weight vector with weightOf evaluated per operation
+// node and 0 at the pseudo-nodes.
+func (g *Graph) NewWeights(weightOf func(circuit.Gate) float64) Weights {
+	w := make(Weights, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if !n.IsPseudo() {
+			w[i] = weightOf(n.Op)
+		}
+	}
+	return w
+}
+
+// CriticalPath holds the result of a longest-path query.
+type CriticalPath struct {
+	// Length is the total weight along the heaviest start→end path.
+	Length float64
+	// Nodes lists the path's node IDs from start to end (inclusive).
+	Nodes []NodeID
+	// CountByType counts operation nodes on the path per gate type; the
+	// paper's N_CNOT^critical and N_g^critical.
+	CountByType map[circuit.GateType]int
+}
+
+// LongestPath computes the critical path under the given node weights. The
+// node array is in topological order by construction, so this is one linear
+// sweep (the O(|V|+|E|) DAG longest-path algorithm the paper cites).
+func (g *Graph) LongestPath(w Weights) (CriticalPath, error) {
+	if len(w) != len(g.Nodes) {
+		return CriticalPath{}, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
+	}
+	n := len(g.Nodes)
+	dist := make([]float64, n)
+	from := make([]NodeID, n)
+	for i := range from {
+		from[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		for _, v := range g.Succ[u] {
+			if cand := du + w[v]; cand > dist[v] || from[v] == -1 {
+				dist[v] = cand
+				from[v] = NodeID(u)
+			}
+		}
+	}
+	end := g.End()
+	cp := CriticalPath{
+		Length:      dist[end],
+		CountByType: make(map[circuit.GateType]int),
+	}
+	// Recover the path.
+	var rev []NodeID
+	for v := end; v != -1; v = from[v] {
+		rev = append(rev, v)
+		if v == 0 {
+			break
+		}
+	}
+	cp.Nodes = make([]NodeID, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		cp.Nodes = append(cp.Nodes, rev[i])
+	}
+	for _, id := range cp.Nodes {
+		node := g.Nodes[id]
+		if !node.IsPseudo() {
+			cp.CountByType[node.Op.Type]++
+		}
+	}
+	return cp, nil
+}
+
+// Levels returns each node's ASAP level (start = 0) — the unweighted depth
+// used for scheduling and reporting.
+func (g *Graph) Levels() []int {
+	lv := make([]int, len(g.Nodes))
+	for u := range g.Nodes {
+		for _, v := range g.Succ[u] {
+			if lv[u]+1 > lv[v] {
+				lv[v] = lv[u] + 1
+			}
+		}
+	}
+	return lv
+}
+
+// CheckAcyclic verifies the topological-order invariant: every edge points
+// from a lower node ID to a higher one.
+func (g *Graph) CheckAcyclic() error {
+	for u := range g.Succ {
+		for _, v := range g.Succ[u] {
+			if int(v) <= u {
+				return fmt.Errorf("qodg: back edge %d -> %d", u, v)
+			}
+		}
+	}
+	return nil
+}

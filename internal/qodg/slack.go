@@ -1,0 +1,97 @@
+package qodg
+
+import "fmt"
+
+// Schedule holds ASAP/ALAP times and slack per node under a given weight
+// vector — the "scheduling slacks" the paper discusses (§2: routing
+// latencies "change the scheduling slacks and hence may change the critical
+// path of the entire graph").
+type Schedule struct {
+	// ASAP[i] is the earliest finish time of node i.
+	ASAP []float64
+	// ALAP[i] is the latest finish time of node i that still meets the
+	// overall critical-path length.
+	ALAP []float64
+	// Slack[i] = ALAP[i] − ASAP[i]; zero on every critical node.
+	Slack []float64
+	// Makespan is the critical-path length.
+	Makespan float64
+}
+
+// ComputeSchedule derives ASAP/ALAP/slack for all nodes in two linear
+// sweeps over the (topologically ordered) graph.
+func (g *Graph) ComputeSchedule(w Weights) (*Schedule, error) {
+	if len(w) != len(g.Nodes) {
+		return nil, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
+	}
+	n := len(g.Nodes)
+	s := &Schedule{
+		ASAP:  make([]float64, n),
+		ALAP:  make([]float64, n),
+		Slack: make([]float64, n),
+	}
+	// Forward sweep: earliest finish.
+	for u := 0; u < n; u++ {
+		best := 0.0
+		for _, p := range g.Pred[u] {
+			if s.ASAP[p] > best {
+				best = s.ASAP[p]
+			}
+		}
+		s.ASAP[u] = best + w[u]
+	}
+	s.Makespan = s.ASAP[g.End()]
+	// Backward sweep: latest finish.
+	for u := 0; u < n; u++ {
+		s.ALAP[u] = s.Makespan
+	}
+	for u := n - 1; u >= 0; u-- {
+		limit := s.Makespan
+		for _, v := range g.Succ[u] {
+			if cand := s.ALAP[v] - w[v]; cand < limit {
+				limit = cand
+			}
+		}
+		s.ALAP[u] = limit
+	}
+	for u := 0; u < n; u++ {
+		s.Slack[u] = s.ALAP[u] - s.ASAP[u]
+	}
+	return s, nil
+}
+
+// CriticalNodes returns the IDs of all zero-slack operation nodes (within
+// tol), in topological order — every node lying on some critical path.
+func (s *Schedule) CriticalNodes(g *Graph, tol float64) []NodeID {
+	var out []NodeID
+	for u := range g.Nodes {
+		if g.Nodes[u].IsPseudo() {
+			continue
+		}
+		if s.Slack[u] <= tol {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+// SlackHistogram buckets operation-node slacks into the given boundaries
+// (e.g. {0, 1000, 10000}); bucket i counts nodes with
+// bounds[i] ≤ slack < bounds[i+1], and the final bucket is unbounded.
+func (s *Schedule) SlackHistogram(g *Graph, bounds []float64) []int {
+	counts := make([]int, len(bounds))
+	for u := range g.Nodes {
+		if g.Nodes[u].IsPseudo() {
+			continue
+		}
+		sl := s.Slack[u]
+		idx := 0
+		for i := range bounds {
+			if sl >= bounds[i] {
+				idx = i
+			}
+		}
+		counts[idx]++
+	}
+	return counts
+}

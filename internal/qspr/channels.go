@@ -1,0 +1,76 @@
+package qspr
+
+import "repro/internal/fabric"
+
+// channels tracks crossings of every inter-ULB routing segment. A segment
+// between horizontally adjacent ULBs (x,y)-(x+1,y) or vertically adjacent
+// ULBs (x,y)-(x,y+1) carries at most Nc concurrent qubits; a crossing takes
+// T_move. Each segment keeps a time-sorted crossing calendar, so a qubit
+// can slot into any window with spare capacity regardless of the order
+// gates were processed in.
+type channels struct {
+	grid      fabric.Grid
+	capacity  int
+	unlimited bool
+	segs      []segmentCal
+	hCols     int // W-1: horizontal segments per row
+	hCnt      int // total horizontal segments
+}
+
+func newChannels(grid fabric.Grid, capacity int, unlimited bool) *channels {
+	hCols := grid.Width - 1
+	hCnt := hCols * grid.Height
+	vCnt := grid.Width * (grid.Height - 1)
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &channels{
+		grid:      grid,
+		capacity:  capacity,
+		unlimited: unlimited,
+		hCols:     hCols,
+		hCnt:      hCnt,
+	}
+	if !unlimited {
+		c.segs = make([]segmentCal, hCnt+vCnt)
+	}
+	return c
+}
+
+// segmentID maps an adjacent ULB pair to its segment index; direction does
+// not matter.
+func (c *channels) segmentID(from, to fabric.Coord) int {
+	if from.Y == to.Y { // horizontal
+		x := from.X
+		if to.X < x {
+			x = to.X
+		}
+		return from.Y*c.hCols + x
+	}
+	y := from.Y
+	if to.Y < y {
+		y = to.Y
+	}
+	return c.hCnt + y*c.grid.Width + from.X
+}
+
+// reserve books a crossing of the segment requested at time t lasting tm.
+// Returns the actual start time and the wait incurred.
+func (c *channels) reserve(from, to fabric.Coord, t, tm float64) (start, wait float64) {
+	if c.unlimited {
+		return t, 0
+	}
+	seg := &c.segs[c.segmentID(from, to)]
+	start = seg.reserve(t, tm, c.capacity)
+	return start, start - t
+}
+
+// freeAt returns the earliest feasible crossing start at/after time t for
+// the segment between two adjacent ULBs (t itself when contention is
+// disabled) — used by the route-order lookahead.
+func (c *channels) freeAt(from, to fabric.Coord, t, tm float64) float64 {
+	if c.unlimited {
+		return t
+	}
+	return c.segs[c.segmentID(from, to)].earliest(t, tm, c.capacity)
+}

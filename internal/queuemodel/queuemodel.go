@@ -1,0 +1,85 @@
+// Package queuemodel implements the M/M/1 routing-channel congestion model
+// of LEQA §3.1 (Fig. 5, Eq. 8–11). A routing channel with capacity Nc is
+// uncongested while at most Nc qubits inhabit it; beyond that, qubits
+// pipeline through and each one's latency grows with the queue population.
+//
+// The paper works the model backwards: it observes the average queue length
+// L_q = q (the number of co-located qubits from the coverage model), takes
+// the service rate µ = Nc/d_uncong, solves Eq. 9 for the arrival rate λ
+// (Eq. 10), and applies Little's law to obtain the per-qubit waiting time
+// W_avg = (1+q)·d_uncong/Nc (Eq. 11). Eq. 8 then selects between the
+// uncongested constant d_uncong and W_avg.
+package queuemodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Channel models one routing channel.
+type Channel struct {
+	// Capacity is Nc, the number of qubits the channel carries without
+	// queueing. Must be ≥ 1.
+	Capacity int
+	// DUncong is d_uncong: the average routing latency of a qubit in an
+	// average-size presence zone when channels are uncongested. Must be
+	// > 0 for the queue formulas to be meaningful.
+	DUncong float64
+}
+
+// NewChannel validates and constructs a channel model.
+func NewChannel(capacity int, dUncong float64) (Channel, error) {
+	if capacity < 1 {
+		return Channel{}, fmt.Errorf("queuemodel: capacity %d < 1", capacity)
+	}
+	if dUncong <= 0 {
+		return Channel{}, fmt.Errorf("queuemodel: d_uncong %.6g must be positive", dUncong)
+	}
+	return Channel{Capacity: capacity, DUncong: dUncong}, nil
+}
+
+// ServiceRate returns µ = Nc / d_uncong.
+func (c Channel) ServiceRate() float64 { return float64(c.Capacity) / c.DUncong }
+
+// ArrivalRate solves Eq. 10 for λ given the observed average queue length
+// q: λ = q·Nc / ((1+q)·d_uncong).
+func (c Channel) ArrivalRate(q int) float64 {
+	fq := float64(q)
+	return fq * float64(c.Capacity) / ((1 + fq) * c.DUncong)
+}
+
+// QueueLength evaluates Eq. 9, L_q = λ/(µ−λ), for an arbitrary arrival rate.
+// It errors when λ ≥ µ (unstable queue).
+func (c Channel) QueueLength(lambda float64) (float64, error) {
+	mu := c.ServiceRate()
+	if lambda >= mu {
+		return 0, errors.New("queuemodel: arrival rate ≥ service rate; queue diverges")
+	}
+	if lambda < 0 {
+		return 0, errors.New("queuemodel: negative arrival rate")
+	}
+	return lambda / (mu - lambda), nil
+}
+
+// WaitingTime applies Little's law (Eq. 11) for queue population q:
+// W_avg = (1+q)·d_uncong / Nc.
+func (c Channel) WaitingTime(q int) float64 {
+	return (1 + float64(q)) * c.DUncong / float64(c.Capacity)
+}
+
+// Delay evaluates Eq. 8: the average routing latency d_q of a qubit when
+// the routing channels are occupied by q qubits. For q ≤ Nc the channel is
+// uncongested and the latency is d_uncong; beyond that the queue waiting
+// time applies.
+func (c Channel) Delay(q int) float64 {
+	if q <= c.Capacity {
+		return c.DUncong
+	}
+	return c.WaitingTime(q)
+}
+
+// Utilization returns ρ = λ/µ at queue population q — a diagnostic for
+// reports; always < 1 under this model.
+func (c Channel) Utilization(q int) float64 {
+	return c.ArrivalRate(q) / c.ServiceRate()
+}

@@ -1,0 +1,167 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustChannel(t *testing.T, cap int, d float64) Channel {
+	t.Helper()
+	c, err := NewChannel(cap, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(0, 1); err == nil {
+		t.Error("want error for capacity 0")
+	}
+	if _, err := NewChannel(5, 0); err == nil {
+		t.Error("want error for d_uncong 0")
+	}
+	if _, err := NewChannel(5, -1); err == nil {
+		t.Error("want error for negative d_uncong")
+	}
+	if _, err := NewChannel(5, 100); err != nil {
+		t.Errorf("valid channel rejected: %v", err)
+	}
+}
+
+func TestServiceRate(t *testing.T) {
+	c := mustChannel(t, 5, 100)
+	if got := c.ServiceRate(); got != 0.05 {
+		t.Errorf("µ = %v, want 0.05", got)
+	}
+}
+
+func TestEq8Delay(t *testing.T) {
+	// Table 1 values: Nc = 5. For q ≤ 5: d_uncong; beyond: (1+q)d/Nc.
+	c := mustChannel(t, 5, 100)
+	for q := 0; q <= 5; q++ {
+		if got := c.Delay(q); got != 100 {
+			t.Errorf("d_%d = %v, want 100 (uncongested)", q, got)
+		}
+	}
+	if got := c.Delay(6); math.Abs(got-140) > 1e-12 {
+		t.Errorf("d_6 = %v, want (1+6)·100/5 = 140", got)
+	}
+	if got := c.Delay(9); math.Abs(got-200) > 1e-12 {
+		t.Errorf("d_9 = %v, want 200", got)
+	}
+}
+
+func TestEq8ContinuityAtCapacity(t *testing.T) {
+	// At q = Nc the congested formula gives (1+Nc)d/Nc > d, so Eq. 8's
+	// branch point means delay jumps by exactly d/Nc·1 at q = Nc+1 vs
+	// the uncongested value... verify the jump is as derived.
+	c := mustChannel(t, 4, 80)
+	uncong := c.Delay(4)
+	cong := c.Delay(5)
+	if uncong != 80 {
+		t.Errorf("d_Nc = %v", uncong)
+	}
+	want := (1.0 + 5.0) * 80 / 4
+	if math.Abs(cong-want) > 1e-12 {
+		t.Errorf("d_{Nc+1} = %v, want %v", cong, want)
+	}
+}
+
+func TestEq10ArrivalRate(t *testing.T) {
+	// λ = q·Nc / ((1+q)·d).
+	c := mustChannel(t, 5, 100)
+	got := c.ArrivalRate(9)
+	want := 9.0 * 5 / (10 * 100)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("λ = %v, want %v", got, want)
+	}
+}
+
+func TestEq9QueueLengthRoundTrip(t *testing.T) {
+	// Plugging Eq. 10's λ back into Eq. 9 must recover q — the paper's
+	// derivation is self-consistent.
+	c := mustChannel(t, 5, 100)
+	for q := 1; q <= 40; q++ {
+		lambda := c.ArrivalRate(q)
+		lq, err := c.QueueLength(lambda)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if math.Abs(lq-float64(q)) > 1e-9 {
+			t.Errorf("q=%d: round trip gave %v", q, lq)
+		}
+	}
+}
+
+func TestQueueLengthRejectsUnstable(t *testing.T) {
+	c := mustChannel(t, 5, 100)
+	mu := c.ServiceRate()
+	if _, err := c.QueueLength(mu); err == nil {
+		t.Error("λ = µ must error")
+	}
+	if _, err := c.QueueLength(mu * 2); err == nil {
+		t.Error("λ > µ must error")
+	}
+	if _, err := c.QueueLength(-0.1); err == nil {
+		t.Error("negative λ must error")
+	}
+}
+
+func TestEq11LittlesLaw(t *testing.T) {
+	// W = L/λ (Little). WaitingTime must equal q / ArrivalRate(q).
+	c := mustChannel(t, 3, 60)
+	for q := 1; q <= 20; q++ {
+		w := c.WaitingTime(q)
+		little := float64(q) / c.ArrivalRate(q)
+		if math.Abs(w-little) > 1e-9 {
+			t.Errorf("q=%d: W=%v but L/λ=%v", q, w, little)
+		}
+	}
+}
+
+func TestUtilizationBelowOne(t *testing.T) {
+	c := mustChannel(t, 5, 100)
+	for q := 0; q <= 100; q += 7 {
+		rho := c.Utilization(q)
+		if rho < 0 || rho >= 1 {
+			t.Errorf("q=%d: ρ = %v outside [0,1)", q, rho)
+		}
+	}
+}
+
+func TestDelayMonotoneProperty(t *testing.T) {
+	// d_q is non-decreasing in q for any valid channel.
+	f := func(capRaw uint8, dRaw uint16) bool {
+		capacity := int(capRaw%10) + 1
+		d := float64(dRaw%5000) + 1
+		c, err := NewChannel(capacity, d)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for q := 0; q <= 50; q++ {
+			cur := c.Delay(q)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayScalesWithDUncong(t *testing.T) {
+	// Delay is linear in d_uncong at fixed q and Nc.
+	c1 := mustChannel(t, 5, 100)
+	c2 := mustChannel(t, 5, 200)
+	for q := 0; q <= 20; q++ {
+		if math.Abs(c2.Delay(q)-2*c1.Delay(q)) > 1e-9 {
+			t.Errorf("q=%d: delay not linear in d_uncong", q)
+		}
+	}
+}

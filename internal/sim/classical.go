@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Bits is a classical bit assignment for a register, one bool per qubit.
+type Bits []bool
+
+// NewBits returns an all-zero assignment for n qubits.
+func NewBits(n int) Bits { return make(Bits, n) }
+
+// BitsFromUint builds an assignment from the low n bits of v (qubit 0 =
+// least significant bit).
+func BitsFromUint(n int, v uint64) Bits {
+	b := make(Bits, n)
+	for i := 0; i < n && i < 64; i++ {
+		b[i] = v&(1<<uint(i)) != 0
+	}
+	return b
+}
+
+// Uint packs the first min(n,64) bits back into an integer.
+func (b Bits) Uint() uint64 {
+	var v uint64
+	for i := 0; i < len(b) && i < 64; i++ {
+		if b[i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Clone deep-copies the assignment.
+func (b Bits) Clone() Bits {
+	out := make(Bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// ApplyReversible executes one classical reversible gate in place. Gates
+// outside the reversible subset (H, S, T, ...) are rejected.
+func (b Bits) ApplyReversible(g circuit.Gate) error {
+	if err := g.Validate(len(b)); err != nil {
+		return err
+	}
+	switch g.Type {
+	case circuit.X:
+		b[g.Targets[0]] = !b[g.Targets[0]]
+	case circuit.CNOT, circuit.Toffoli, circuit.MCT:
+		all := true
+		for _, c := range g.Controls {
+			if !b[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			b[g.Targets[0]] = !b[g.Targets[0]]
+		}
+	case circuit.Swap:
+		a, t := g.Targets[0], g.Targets[1]
+		b[a], b[t] = b[t], b[a]
+	case circuit.Fredkin, circuit.MCF:
+		all := true
+		for _, c := range g.Controls {
+			if !b[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			a, t := g.Targets[0], g.Targets[1]
+			b[a], b[t] = b[t], b[a]
+		}
+	default:
+		return fmt.Errorf("sim: gate %s is not classically reversible", g.Type)
+	}
+	return nil
+}
+
+// RunReversible executes an entire reversible circuit on the assignment.
+func (b Bits) RunReversible(c *circuit.Circuit) error {
+	if c.NumQubits() > len(b) {
+		return fmt.Errorf("sim: circuit has %d qubits, register has %d", c.NumQubits(), len(b))
+	}
+	for i, g := range c.Gates {
+		if err := b.ApplyReversible(g); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReversibleTruthTable evaluates a reversible circuit on all 2^n inputs,
+// where n = c.NumQubits() ≤ 24, returning out[i] = permutation image of i.
+func ReversibleTruthTable(c *circuit.Circuit) ([]uint64, error) {
+	n := c.NumQubits()
+	if n > 24 {
+		return nil, fmt.Errorf("sim: truth table limited to 24 qubits, got %d", n)
+	}
+	size := uint64(1) << uint(n)
+	out := make([]uint64, size)
+	for v := uint64(0); v < size; v++ {
+		b := BitsFromUint(n, v)
+		if err := b.RunReversible(c); err != nil {
+			return nil, err
+		}
+		out[v] = b.Uint()
+	}
+	return out, nil
+}
+
+// IsPermutation reports whether tt is a bijection on its index range; every
+// valid reversible circuit's truth table must be one.
+func IsPermutation(tt []uint64) bool {
+	seen := make([]bool, len(tt))
+	for _, v := range tt {
+		if v >= uint64(len(tt)) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestOptimizePreservesUnitary cross-checks the peephole optimizer against
+// the statevector simulator: for random FT circuits, the optimized netlist
+// must implement the same unitary. (Lives in sim to avoid an import cycle.)
+func TestOptimizePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	types := []circuit.GateType{
+		circuit.H, circuit.T, circuit.Tdg, circuit.S, circuit.Sdg,
+		circuit.X, circuit.Y, circuit.Z,
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(2)
+		c := circuit.New("opt", n)
+		for i := 0; i < 60; i++ {
+			if rng.Intn(4) == 0 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					c.Append(circuit.NewCNOT(a, b))
+				}
+			} else {
+				c.Append(circuit.NewOneQubit(types[rng.Intn(len(types))], rng.Intn(n)))
+			}
+		}
+		opt, removed := circuit.Optimize(c)
+		eq, err := CircuitsEquivalent(c, opt, n, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: optimizer changed the unitary (removed %d)", trial, removed)
+		}
+	}
+}
+
+// TestOptimizeShrinksRedundantCircuits builds circuits with deliberate
+// redundancy and checks the optimizer actually removes gates while
+// preserving semantics.
+func TestOptimizeShrinksRedundantCircuits(t *testing.T) {
+	c := circuit.New("red", 3)
+	for i := 0; i < 10; i++ {
+		c.Append(circuit.NewOneQubit(circuit.H, 0), circuit.NewOneQubit(circuit.H, 0))
+		c.Append(circuit.NewCNOT(1, 2), circuit.NewCNOT(1, 2))
+		c.Append(circuit.NewOneQubit(circuit.T, 1), circuit.NewOneQubit(circuit.Tdg, 1))
+	}
+	opt, removed := circuit.Optimize(c)
+	if removed != c.NumGates() {
+		t.Errorf("removed %d of %d", removed, c.NumGates())
+	}
+	eq, err := CircuitsEquivalent(c, opt, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("optimizer broke a fully-redundant circuit")
+	}
+}

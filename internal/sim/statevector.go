@@ -1,0 +1,230 @@
+// Package sim provides two reference executors for circuits: an exact
+// statevector simulator for small registers (used to verify that gate
+// decompositions implement the same unitary) and a classical bit-vector
+// simulator for reversible-only circuits of any size.
+//
+// Neither simulator is on LEQA's hot path; they exist so the test suite can
+// prove the synthesis substrate correct rather than assume it.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+)
+
+// MaxStateQubits bounds the statevector register size (2^22 amplitudes ≈
+// 64 MiB of complex128) to keep accidental misuse from exhausting memory.
+const MaxStateQubits = 22
+
+// State is a dense statevector over n qubits. Amplitude indexing uses qubit
+// 0 as the least significant bit of the basis index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0⟩ on n qubits.
+func NewState(n int) (*State, error) {
+	if n < 0 || n > MaxStateQubits {
+		return nil, fmt.Errorf("sim: qubit count %d outside [0,%d]", n, MaxStateQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// NewBasisState returns |basis⟩ on n qubits.
+func NewBasisState(n int, basis uint64) (*State, error) {
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	if basis >= uint64(len(s.amp)) {
+		return nil, fmt.Errorf("sim: basis %d out of range for %d qubits", basis, n)
+	}
+	s.amp[0] = 0
+	s.amp[basis] = 1
+	return s, nil
+}
+
+// NumQubits returns the register size.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state i.
+func (s *State) Amplitude(i uint64) complex128 { return s.amp[i] }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(out.amp, s.amp)
+	return out
+}
+
+// Norm returns the 2-norm of the statevector (1.0 for a valid state).
+func (s *State) Norm() float64 {
+	sum := 0.0
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Fidelity returns |⟨s|t⟩|, which is 1 iff the states are equal up to a
+// global phase.
+func (s *State) Fidelity(t *State) (float64, error) {
+	if s.n != t.n {
+		return 0, fmt.Errorf("sim: fidelity between %d and %d qubit states", s.n, t.n)
+	}
+	var ip complex128
+	for i := range s.amp {
+		ip += cmplx.Conj(s.amp[i]) * t.amp[i]
+	}
+	return cmplx.Abs(ip), nil
+}
+
+// applyOneQubit applies the 2×2 matrix {{m00,m01},{m10,m11}} to qubit q.
+func (s *State) applyOneQubit(q int, m00, m01, m10, m11 complex128) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = m00*a0 + m01*a1
+		s.amp[j] = m10*a0 + m11*a1
+	}
+}
+
+// invSqrt2 is 1/√2 for the Hadamard matrix.
+var invSqrt2 = complex(1/math.Sqrt2, 0)
+
+// ApplyGate applies one gate to the state.
+func (s *State) ApplyGate(g circuit.Gate) error {
+	if err := g.Validate(s.n); err != nil {
+		return err
+	}
+	switch g.Type {
+	case circuit.X:
+		s.applyOneQubit(g.Targets[0], 0, 1, 1, 0)
+	case circuit.Y:
+		s.applyOneQubit(g.Targets[0], 0, -1i, 1i, 0)
+	case circuit.Z:
+		s.applyOneQubit(g.Targets[0], 1, 0, 0, -1)
+	case circuit.H:
+		s.applyOneQubit(g.Targets[0], invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
+	case circuit.S:
+		s.applyOneQubit(g.Targets[0], 1, 0, 0, 1i)
+	case circuit.Sdg:
+		s.applyOneQubit(g.Targets[0], 1, 0, 0, -1i)
+	case circuit.T:
+		s.applyOneQubit(g.Targets[0], 1, 0, 0, cmplx.Exp(1i*math.Pi/4))
+	case circuit.Tdg:
+		s.applyOneQubit(g.Targets[0], 1, 0, 0, cmplx.Exp(-1i*math.Pi/4))
+	case circuit.CNOT, circuit.Toffoli, circuit.MCT:
+		s.applyControlledX(g.Controls, g.Targets[0])
+	case circuit.Swap:
+		s.applySwap(0, g.Targets[0], g.Targets[1])
+	case circuit.Fredkin:
+		s.applySwap(uint64(1)<<uint(g.Controls[0]), g.Targets[0], g.Targets[1])
+	case circuit.MCF:
+		var mask uint64
+		for _, c := range g.Controls {
+			mask |= uint64(1) << uint(c)
+		}
+		s.applySwap(mask, g.Targets[0], g.Targets[1])
+	default:
+		return fmt.Errorf("sim: cannot apply gate type %s", g.Type)
+	}
+	return nil
+}
+
+func (s *State) applyControlledX(controls []int, target int) {
+	var cmask uint64
+	for _, c := range controls {
+		cmask |= uint64(1) << uint(c)
+	}
+	tbit := uint64(1) << uint(target)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&cmask == cmask && i&tbit == 0 {
+			j := i | tbit
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+func (s *State) applySwap(cmask uint64, a, b int) {
+	abit := uint64(1) << uint(a)
+	bbit := uint64(1) << uint(b)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		// Visit each swapped pair once: a set, b clear.
+		if i&cmask == cmask && i&abit != 0 && i&bbit == 0 {
+			j := (i &^ abit) | bbit
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// Run applies every gate of the circuit in order.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.NumQubits() > s.n {
+		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.NumQubits(), s.n)
+	}
+	for i, g := range c.Gates {
+		if err := s.ApplyGate(g); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CircuitsEquivalent reports whether two circuits implement the same unitary
+// on n qubits, up to a global phase, by comparing their action on every
+// computational basis state. Exponential in n; intended for n ≤ ~10.
+func CircuitsEquivalent(a, b *circuit.Circuit, n int, tol float64) (bool, error) {
+	if n > 14 {
+		return false, fmt.Errorf("sim: equivalence check limited to 14 qubits, got %d", n)
+	}
+	dim := uint64(1) << uint(n)
+	var phase complex128
+	for basis := uint64(0); basis < dim; basis++ {
+		sa, err := NewBasisState(n, basis)
+		if err != nil {
+			return false, err
+		}
+		sb, err := NewBasisState(n, basis)
+		if err != nil {
+			return false, err
+		}
+		if err := sa.Run(a); err != nil {
+			return false, err
+		}
+		if err := sb.Run(b); err != nil {
+			return false, err
+		}
+		// Columns must agree up to one shared global phase.
+		for i := uint64(0); i < dim; i++ {
+			va, vb := sa.amp[i], sb.amp[i]
+			if cmplx.Abs(va) < tol && cmplx.Abs(vb) < tol {
+				continue
+			}
+			if math.Abs(cmplx.Abs(va)-cmplx.Abs(vb)) > tol {
+				return false, nil
+			}
+			if phase == 0 {
+				phase = vb / va
+				if math.Abs(cmplx.Abs(phase)-1) > tol {
+					return false, nil
+				}
+				continue
+			}
+			if cmplx.Abs(va*phase-vb) > tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,126 @@
+// Package stats provides the small statistics toolkit behind the
+// experiment reports: estimation-error summaries (Table 2), geometric means,
+// log-log power-law fits for the runtime-scaling claim of §4.2, and the
+// Shor-1024 extrapolation.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// AbsErrorPct returns |estimated − actual| / actual · 100.
+func AbsErrorPct(actual, estimated float64) float64 {
+	if actual == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(estimated-actual) / math.Abs(actual) * 100
+}
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum; 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of positive values; errors otherwise.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %g", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// PowerFit fits y = c·x^k by least squares on (log x, log y) and returns the
+// exponent k, the coefficient c, and the R² of the log-log fit. All inputs
+// must be positive and len(x) == len(y) ≥ 2.
+func PowerFit(x, y []float64) (k, c, r2 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: power fit needs ≥2 matching points, got %d/%d", len(x), len(y))
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: power fit needs positive data, got (%g,%g)", x[i], y[i])
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, intercept, r := linearFit(lx, ly)
+	return slope, math.Exp(intercept), r * r, nil
+}
+
+// linearFit computes the least-squares line ly = slope·lx + intercept and
+// the correlation coefficient r.
+func linearFit(x, y []float64) (slope, intercept, r float64) {
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, Mean(y), 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	rden := math.Sqrt(den * (n*syy - sy*sy))
+	if rden == 0 {
+		r = 0
+	} else {
+		r = (n*sxy - sx*sy) / rden
+	}
+	return slope, intercept, r
+}
+
+// Extrapolate evaluates the fitted power law at x.
+func Extrapolate(k, c, x float64) float64 { return c * math.Pow(x, k) }
+
+// HumanDuration renders seconds at human scale (s, min, h, days, years) for
+// the Shor-extrapolation report.
+func HumanDuration(sec float64) string {
+	switch {
+	case sec < 120:
+		return fmt.Sprintf("%.1f s", sec)
+	case sec < 2*3600:
+		return fmt.Sprintf("%.1f min", sec/60)
+	case sec < 2*86400:
+		return fmt.Sprintf("%.1f h", sec/3600)
+	case sec < 2*365.25*86400:
+		return fmt.Sprintf("%.1f days", sec/86400)
+	default:
+		return fmt.Sprintf("%.1f years", sec/(365.25*86400))
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsErrorPct(t *testing.T) {
+	if got := AbsErrorPct(100, 103); math.Abs(got-3) > 1e-12 {
+		t.Errorf("error = %v, want 3", got)
+	}
+	if got := AbsErrorPct(100, 97); math.Abs(got-3) > 1e-12 {
+		t.Errorf("error = %v, want 3 (symmetric)", got)
+	}
+	if !math.IsInf(AbsErrorPct(0, 5), 1) {
+		t.Error("zero actual should give +Inf")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 10}
+	if Mean(xs) != 4 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 10 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v, want 10", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative should error")
+	}
+}
+
+func TestPowerFitExact(t *testing.T) {
+	// y = 2·x^1.5 exactly.
+	x := []float64{1, 2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2 * math.Pow(x[i], 1.5)
+	}
+	k, c, r2, err := PowerFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1.5) > 1e-9 {
+		t.Errorf("k = %v, want 1.5", k)
+	}
+	if math.Abs(c-2) > 1e-9 {
+		t.Errorf("c = %v, want 2", c)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestPowerFitErrors(t *testing.T) {
+	if _, _, _, err := PowerFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, _, err := PowerFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, _, err := PowerFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative data should error")
+	}
+}
+
+func TestExtrapolateConsistency(t *testing.T) {
+	f := func(seed uint8) bool {
+		k := 1 + float64(seed%20)/10 // 1.0 .. 2.9
+		c := 0.5 + float64(seed%7)
+		x := []float64{10, 100, 1000, 10000}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = Extrapolate(k, c, x[i])
+		}
+		kf, cf, r2, err := PowerFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(kf-k) < 1e-6 && math.Abs(cf-c) < 1e-6 && r2 > 0.999999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// All x equal → slope 0, intercept = mean(y).
+	slope, intercept, r := linearFit([]float64{2, 2, 2}, []float64{1, 3, 5})
+	if slope != 0 || intercept != 3 || r != 0 {
+		t.Errorf("degenerate fit: %v %v %v", slope, intercept, r)
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	cases := map[float64]string{
+		30:     "s",
+		600:    "min",
+		7200:   "h",
+		200000: "days",
+		1e9:    "years",
+	}
+	for sec, unit := range cases {
+		got := HumanDuration(sec)
+		if !strings.Contains(got, unit) {
+			t.Errorf("HumanDuration(%v) = %q, want unit %q", sec, got, unit)
+		}
+	}
+	// The paper's Shor extrapolation scale: ~2 years.
+	got := HumanDuration(2 * 365.25 * 86400)
+	if !strings.Contains(got, "years") {
+		t.Errorf("2 years rendered as %q", got)
+	}
+}

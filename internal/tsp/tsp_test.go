@@ -1,0 +1,219 @@
+package tsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundConstants(t *testing.T) {
+	if math.Abs(MeanA-0.713) > 1e-12 {
+		t.Errorf("MeanA = %v, want 0.713", MeanA)
+	}
+	if math.Abs(MeanB-0.641) > 1e-12 {
+		t.Errorf("MeanB = %v, want 0.641", MeanB)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	for n := 2; n < 200; n *= 2 {
+		lo, hi, est := TourLowerBound(n), TourUpperBound(n), TourEstimate(n)
+		if !(lo < est && est < hi) {
+			t.Errorf("n=%d: bounds out of order: %v %v %v", n, lo, est, hi)
+		}
+	}
+}
+
+func TestExpectedHamiltonianPathEq15(t *testing.T) {
+	// m=4, B=9 (side 3): Eq. 15 = 3·(0.713·√5+0.641)·3/4.
+	want := 3 * (0.713*math.Sqrt(5) + 0.641) * 3.0 / 4.0
+	got := ExpectedHamiltonianPath(4, 9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("E[l_ham] = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedHamiltonianPathDegenerate(t *testing.T) {
+	if ExpectedHamiltonianPath(0, 9) != 0 {
+		t.Error("m=0 should give 0")
+	}
+	if ExpectedHamiltonianPath(3, 0) != 0 {
+		t.Error("zero area should give 0")
+	}
+	// m=1: expected distance between two uniform points, scaled by side.
+	got := ExpectedHamiltonianPath(1, 4)
+	want := 2 * meanPointDistance
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("m=1: %v, want %v", got, want)
+	}
+}
+
+func TestExpectedPathMonotoneInM(t *testing.T) {
+	prev := 0.0
+	for m := 2; m <= 64; m++ {
+		cur := ExpectedHamiltonianPath(m, float64(m+1))
+		if cur <= prev {
+			t.Errorf("E[l_ham] not increasing at m=%d: %v <= %v", m, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestShortestHamiltonianPathSmall(t *testing.T) {
+	// Three collinear points: path = 2 (through the middle).
+	pts := []Point{{0, 0}, {2, 0}, {1, 0}}
+	got, err := ShortestHamiltonianPath(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("collinear path = %v, want 2", got)
+	}
+	// Unit square corners: optimal open path = 3 sides.
+	pts = []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	got, _ = ShortestHamiltonianPath(pts)
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("square path = %v, want 3", got)
+	}
+}
+
+func TestShortestHamiltonianPathEdgeCases(t *testing.T) {
+	if l, _ := ShortestHamiltonianPath(nil); l != 0 {
+		t.Error("empty set should give 0")
+	}
+	if l, _ := ShortestHamiltonianPath([]Point{{1, 1}}); l != 0 {
+		t.Error("single point should give 0")
+	}
+	if l, _ := ShortestHamiltonianPath([]Point{{0, 0}, {3, 4}}); math.Abs(l-5) > 1e-12 {
+		t.Errorf("two points = %v, want 5", l)
+	}
+	if _, err := ShortestHamiltonianPath(make([]Point, MaxExactPoints+1)); err == nil {
+		t.Error("want size-limit error")
+	}
+}
+
+func TestShortestTourSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	got, err := ShortestTour(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("square tour = %v, want 4", got)
+	}
+}
+
+func TestShortestTourEdgeCases(t *testing.T) {
+	if l, _ := ShortestTour([]Point{{0, 0}, {3, 4}}); math.Abs(l-10) > 1e-12 {
+		t.Errorf("two-point tour = %v, want 10", l)
+	}
+	if l, _ := ShortestTour([]Point{{5, 5}}); l != 0 {
+		t.Error("single-point tour should be 0")
+	}
+	if _, err := ShortestTour(make([]Point, MaxExactPoints+1)); err == nil {
+		t.Error("want size-limit error")
+	}
+}
+
+func TestPathShorterThanTourProperty(t *testing.T) {
+	// The optimal open path is never longer than the optimal tour, and the
+	// tour minus the path is at most the longest pairwise distance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		path, err1 := ShortestHamiltonianPath(pts)
+		tour, err2 := ShortestTour(pts)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return path <= tour+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTourBoundsBracketMonteCarlo(t *testing.T) {
+	// Validate the paper's Eq. 13–15 machinery: for n around 8–12, the
+	// Monte Carlo expected optimal PATH should be below the tour estimate
+	// and in the general vicinity of the Eq. 15 scaling. The closed-form
+	// bounds are asymptotic, so we allow generous slack at small n.
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{8, 10, 12} {
+		mc, err := MonteCarloPathLength(n, 60, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tourEst := TourEstimate(n)
+		if mc >= tourEst {
+			t.Errorf("n=%d: MC path %v ≥ tour estimate %v", n, mc, tourEst)
+		}
+		if mc < 0.4*tourEst {
+			t.Errorf("n=%d: MC path %v implausibly small vs %v", n, mc, tourEst)
+		}
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloPathLength(4, 0, rng); err == nil {
+		t.Error("want error for zero trials")
+	}
+	if _, err := MonteCarloPathLength(MaxExactPoints+1, 3, rng); err == nil {
+		t.Error("want size error")
+	}
+}
+
+func TestHeldKarpMatchesBruteForce(t *testing.T) {
+	// Exhaustive permutation check for n ≤ 6.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(3)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		want := bruteForcePath(pts)
+		got, err := ShortestHamiltonianPath(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: held-karp %v != brute force %v", n, got, want)
+		}
+	}
+}
+
+func bruteForcePath(pts []Point) float64 {
+	n := len(pts)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.MaxFloat64
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			l := 0.0
+			for i := 1; i < n; i++ {
+				l += dist(pts[perm[i-1]], pts[perm[i]])
+			}
+			if l < best {
+				best = l
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
