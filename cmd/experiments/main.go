@@ -44,6 +44,7 @@ func run() error {
 		all         = flag.Bool("all", false, "run everything")
 		full        = flag.Bool("full", false, "include the largest benchmarks (gf2^128mult, hwb200ps, gf2^256mult)")
 		calibrate   = flag.Bool("calibrate", false, "calibrate 𝓋 against this repo's QSPR on the small benchmarks first")
+		workers     = flag.Int("workers", 0, "suite worker-pool size (0 = GOMAXPROCS; use 1 for clean Table 3 runtime columns)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -70,7 +71,7 @@ func run() error {
 	var rows []experiments.Row
 	if needRows {
 		var err error
-		rows, err = experiments.RunSuite(names, p, os.Stderr)
+		rows, err = experiments.RunSuite(names, p, *workers, os.Stderr)
 		if err != nil {
 			return err
 		}

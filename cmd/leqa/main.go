@@ -1,12 +1,14 @@
-// Command leqa estimates the latency of a quantum algorithm mapped to a
+// Command leqa estimates the latency of quantum algorithms mapped to a
 // tiled quantum architecture — the paper's Algorithm 1.
 //
 // Usage:
 //
-//	leqa [flags] <circuit.qc | benchmark-name>
+//	leqa [flags] <circuit.qc | benchmark-name> [more circuits...]
 //
-// The positional argument is either a .qc netlist file or a generator spec
-// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder.
+// Each positional argument is either a .qc netlist file or a generator spec
+// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder. With more
+// than one circuit the estimates fan out across a worker pool (the
+// leqa.Runner sweep engine) and print as a table in argument order.
 //
 // Flags:
 //
@@ -17,19 +19,18 @@
 //	-truncation       E[S_q] term limit (default 20; -1 = exact)
 //	-no-congestion    disable the M/M/1 congestion model
 //	-decompose        lower non-FT gates before estimating
+//	-workers          sweep worker-pool size (default GOMAXPROCS)
 //	-verbose          print model intermediates
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/benchgen"
-	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/decompose"
-	"repro/internal/fabric"
+	"repro/leqa"
 )
 
 func main() {
@@ -49,42 +50,63 @@ func run() error {
 		truncation   = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
 		noCongestion = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
 		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
+		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		verbose      = flag.Bool("verbose", false, "print model intermediates")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name>")
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name> [more circuits...]")
 	}
-	c, err := loadOrGenerate(flag.Arg(0))
-	if err != nil {
-		return err
-	}
-	if !c.IsFT() {
-		if !*doDecompose {
-			return fmt.Errorf("circuit has non-FT gates; rerun with -decompose")
-		}
-		c, err = decompose.ToFT(c, decompose.Options{})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	circuits := make([]*leqa.Circuit, 0, flag.NArg())
+	for _, arg := range flag.Args() {
+		c, err := loadOrGenerate(arg)
 		if err != nil {
 			return err
 		}
+		if !c.IsFT() {
+			if !*doDecompose {
+				return fmt.Errorf("circuit %q has non-FT gates; rerun with -decompose", arg)
+			}
+			c, err = leqa.Decompose(c)
+			if err != nil {
+				return err
+			}
+		}
+		circuits = append(circuits, c)
 	}
 
-	p := fabric.Default()
-	p.Grid = fabric.Grid{Width: *width, Height: *height}
+	p := leqa.DefaultParams()
+	p.Grid = leqa.Grid{Width: *width, Height: *height}
 	p.ChannelCapacity = *nc
 	p.QubitSpeed = *speed
 	p.TMove = *tmove
-	est, err := core.New(p, core.Options{Truncation: *truncation, DisableCongestion: *noCongestion})
+	opt := leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion}
+	runner, err := leqa.NewRunner(p, opt, *workers)
 	if err != nil {
 		return err
 	}
-	res, err := est.Estimate(c)
+	results, err := runner.Run(ctx, circuits)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("circuit:            %s (%d qubits, %d operations)\n", c.Name, res.Qubits, res.Operations)
+	if len(results) == 1 {
+		sr := results[0]
+		if sr.Err != nil {
+			return sr.Err
+		}
+		printDetailed(sr.Name, sr.Result, *verbose)
+		return nil
+	}
+	return printTable(results, *verbose)
+}
+
+func printDetailed(name string, res *leqa.EstimateResult, verbose bool) {
+	fmt.Printf("circuit:            %s (%d qubits, %d operations)\n", name, res.Qubits, res.Operations)
 	fmt.Printf("estimated latency:  %.6e s (%.1f µs)\n", res.EstimatedLatency/1e6, res.EstimatedLatency)
-	if *verbose {
+	if verbose {
 		fmt.Printf("B (avg zone area):  %.3f ULBs (side %d)\n", res.AvgZoneArea, res.ZoneSide)
 		fmt.Printf("d_uncong:           %.2f µs\n", res.DUncong)
 		fmt.Printf("L_CNOT^avg:         %.2f µs\n", res.LCNOTAvg)
@@ -95,12 +117,38 @@ func run() error {
 			fmt.Printf("  E[S_%-2d] = %10.3f ULBs   d_%-2d = %8.1f µs\n", q, res.ESq[q], q, res.Dq[q])
 		}
 	}
-	return nil
 }
 
-func loadOrGenerate(arg string) (*circuit.Circuit, error) {
-	if _, err := os.Stat(arg); err == nil {
-		return circuit.LoadQCFile(arg)
+func printTable(results []leqa.SweepResult, verbose bool) error {
+	fmt.Printf("%-20s %7s %10s %14s %12s\n", "circuit", "qubits", "ops", "estimate(s)", "L_CNOT(µs)")
+	var firstErr error
+	for _, sr := range results {
+		if sr.Err != nil {
+			fmt.Printf("%-20s error: %v\n", sr.Name, sr.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("estimating %q: %w", sr.Name, sr.Err)
+			}
+			continue
+		}
+		r := sr.Result
+		fmt.Printf("%-20s %7d %10d %14.4f %12.1f\n",
+			sr.Name, r.Qubits, r.Operations, r.EstimatedLatency/1e6, r.LCNOTAvg)
 	}
-	return benchgen.Generate(arg)
+	if verbose {
+		for _, sr := range results {
+			if sr.Err != nil {
+				continue
+			}
+			fmt.Println()
+			printDetailed(sr.Name, sr.Result, true)
+		}
+	}
+	return firstErr
+}
+
+func loadOrGenerate(arg string) (*leqa.Circuit, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return leqa.Load(arg)
+	}
+	return leqa.Generate(arg)
 }

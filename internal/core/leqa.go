@@ -7,14 +7,13 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/circuit"
 	"repro/internal/fabric"
 	"repro/internal/iig"
 	"repro/internal/qodg"
-	"repro/internal/queuemodel"
 	"repro/internal/tsp"
+	"repro/internal/zonemodel"
 )
 
 // DefaultTruncation is the number of E[S_q] terms evaluated (the paper
@@ -178,150 +177,35 @@ func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (
 	return res, nil
 }
 
-// routingLatency fills ZoneSide, ESq, Dq and LCNOTAvg (lines 9–18).
+// routingLatency fills ZoneSide, ESq, Dq and LCNOTAvg (lines 9–18). The
+// heavy lifting — coverage probabilities, E[S_q], d_q, L_CNOT^avg — lives
+// in the circuit-independent zonemodel layer and is memoized there, so two
+// circuits with the same (fabric, zone side, Q, d_uncong) configuration
+// share one model computation.
 func (e *Estimator) routingLatency(res *Result, ig *iig.Graph) error {
 	p := e.Params
-	a, b := p.Grid.Width, p.Grid.Height
-	q := ig.Q
-
-	// Zone side ⌈√B⌉, clamped so a zone fits on the fabric.
-	side := int(math.Ceil(math.Sqrt(res.AvgZoneArea)))
-	if side < 1 {
-		side = 1
-	}
-	if side > a {
-		side = a
-	}
-	if side > b {
-		side = b
-	}
-	res.ZoneSide = side
-
-	// Lines 9–13: P_{x,y} (Eq. 5). The numerator factors are separable in
-	// x and y, so precompute the two 1-D profiles.
-	px := coverProfile(a, side)
-	py := coverProfile(b, side)
-	denom := float64(a-side+1) * float64(b-side+1)
-
-	// Lines 14–17: E[S_q] (Eq. 4, truncated) and d_q (Eq. 8).
-	kmax := e.Options.truncation(q)
-	res.ESq = make([]float64, kmax+1)
-	res.Dq = make([]float64, kmax+1)
-	ch, err := queuemodel.NewChannel(p.ChannelCapacity, res.DUncong)
+	key := zonemodel.NewKey(p.Grid, res.AvgZoneArea, ig.Q,
+		e.Options.truncation(ig.Q), p.ChannelCapacity, res.DUncong,
+		e.Options.DisableCongestion)
+	res.ZoneSide = key.ZoneSide
+	m, err := zonemodel.Shared.Get(key)
 	if err != nil {
 		return err
 	}
-	for k := 1; k <= kmax; k++ {
-		if e.Options.DisableCongestion {
-			res.Dq[k] = res.DUncong
-		} else {
-			res.Dq[k] = ch.Delay(k)
-		}
-	}
-
-	// Accumulate Σ_{x,y} C(Q,k)·P^k·(1−P)^(Q−k) per k in log space.
-	// log C(Q,k) is built incrementally (the paper's Eq. 18 recurrence).
-	logC := 0.0 // log C(Q,0)
-	fQ := float64(q)
-	// Precompute per-cell log P and log(1−P); cells with P==0 or P==1
-	// handled specially.
-	for k := 1; k <= kmax; k++ {
-		logC += math.Log((fQ - float64(k) + 1) / float64(k))
-		sum := 0.0
-		for x := 1; x <= a; x++ {
-			for y := 1; y <= b; y++ {
-				pxy := px[x] * py[y] / denom
-				switch {
-				case pxy <= 0:
-					// covered by no placement: contributes only to q=0
-				case pxy >= 1:
-					// always covered: contributes only to q=Q
-					if k == q {
-						sum += 1
-					}
-				default:
-					sum += math.Exp(logC + float64(k)*math.Log(pxy) + (fQ-float64(k))*math.Log1p(-pxy))
-				}
-			}
-		}
-		res.ESq[k] = sum
-	}
-
-	// Line 18: L_CNOT^avg (Eq. 2).
-	num, den := 0.0, 0.0
-	for k := 1; k <= kmax; k++ {
-		num += res.ESq[k] * res.Dq[k]
-		den += res.ESq[k]
-	}
-	if den > 0 {
-		res.LCNOTAvg = num / den
-	}
+	res.ESq = m.ESq()
+	res.Dq = m.Dq()
+	res.LCNOTAvg = m.LCNOT
 	return nil
-}
-
-// coverProfile returns f[x] = min(x, n−x+1, s, n−s+1) for x in 1..n — the
-// 1-D count of zone placements covering coordinate x (Eq. 5 numerator
-// factor; Fig. 4).
-func coverProfile(n, s int) []float64 {
-	f := make([]float64, n+1)
-	for x := 1; x <= n; x++ {
-		v := x
-		if n-x+1 < v {
-			v = n - x + 1
-		}
-		if s < v {
-			v = s
-		}
-		if n-s+1 < v {
-			v = n - s + 1
-		}
-		f[x] = float64(v)
-	}
-	return f
 }
 
 // CoverageProbability exposes Eq. 5 for a single ULB — used by the Fig. 3/4
 // regenerations and tests. x and y are 1-based.
 func CoverageProbability(grid fabric.Grid, zoneSide, x, y int) float64 {
-	if zoneSide > grid.Width {
-		zoneSide = grid.Width
-	}
-	if zoneSide > grid.Height {
-		zoneSide = grid.Height
-	}
-	px := coverProfile(grid.Width, zoneSide)
-	py := coverProfile(grid.Height, zoneSide)
-	denom := float64(grid.Width-zoneSide+1) * float64(grid.Height-zoneSide+1)
-	return px[x] * py[y] / denom
+	return zonemodel.CoverageProbability(grid, zoneSide, x, y)
 }
 
 // ExpectedSurfaceExact computes E[S_q] without truncation for one q —
 // used by tests validating the Eq. 3 constraint Σ_{q=0..Q} E[S_q] = A.
 func ExpectedSurfaceExact(grid fabric.Grid, zoneSide, qubits, q int) float64 {
-	px := coverProfile(grid.Width, zoneSide)
-	py := coverProfile(grid.Height, zoneSide)
-	denom := float64(grid.Width-zoneSide+1) * float64(grid.Height-zoneSide+1)
-	logC := 0.0
-	for k := 1; k <= q; k++ {
-		logC += math.Log((float64(qubits) - float64(k) + 1) / float64(k))
-	}
-	sum := 0.0
-	for x := 1; x <= grid.Width; x++ {
-		for y := 1; y <= grid.Height; y++ {
-			p := px[x] * py[y] / denom
-			switch {
-			case p <= 0:
-				if q == 0 {
-					sum += 1
-				}
-			case p >= 1:
-				if q == qubits {
-					sum += 1
-				}
-			default:
-				sum += math.Exp(logC + float64(q)*math.Log(p) + float64(qubits-q)*math.Log1p(-p))
-			}
-		}
-	}
-	return sum
+	return zonemodel.ExpectedSurfaceExact(grid, zoneSide, qubits, q)
 }

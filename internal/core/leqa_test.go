@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -318,6 +319,52 @@ func TestMoreOpsNeverFasterProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentEstimatesShareModel hammers one estimator from many
+// goroutines (run with -race): every estimate must agree bitwise with the
+// sequential baseline even though they all share the memoized zone model,
+// and the result slices must be private copies, not aliases of the cache.
+func TestConcurrentEstimatesShareModel(t *testing.T) {
+	c := circuit.New("mesh", 20)
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j += 2 {
+			c.Append(circuit.NewCNOT(i, j))
+		}
+	}
+	e := defaultEstimator(t, Options{})
+	base, err := e.Estimate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	results := make([]*Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := e.Estimate(c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g, res := range results {
+		if res == nil {
+			t.Fatalf("goroutine %d produced no result", g)
+		}
+		if res.EstimatedLatency != base.EstimatedLatency || res.LCNOTAvg != base.LCNOTAvg {
+			t.Errorf("goroutine %d: latency %v / L_CNOT %v, want %v / %v",
+				g, res.EstimatedLatency, res.LCNOTAvg, base.EstimatedLatency, base.LCNOTAvg)
+		}
+		if &res.ESq[0] == &base.ESq[0] || &res.Dq[0] == &base.Dq[0] {
+			t.Errorf("goroutine %d: result slices alias the shared model", g)
+		}
 	}
 }
 

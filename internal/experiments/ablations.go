@@ -6,13 +6,18 @@ import (
 	"math/rand"
 
 	"repro/internal/benchgen"
-	"repro/internal/core"
 	"repro/internal/fabric"
-	"repro/internal/qspr"
 	"repro/internal/queuemodel"
 	"repro/internal/stats"
 	"repro/internal/tsp"
+	"repro/leqa"
 )
+
+// The ablations sweep model configurations over fixed circuits. Each sweep
+// evaluates its configurations concurrently via forEach, collects results
+// in configuration order, and renders sequentially; the estimator calls
+// route through the public leqa API, so repeated configurations on the same
+// fabric hit the memoized zone model.
 
 func mustChannel(capacity int, dUncong float64) queuemodel.Channel {
 	ch, err := queuemodel.NewChannel(capacity, dUncong)
@@ -32,28 +37,32 @@ func AblationTruncation(w io.Writer, name string, p fabric.Params) error {
 	if err != nil {
 		return err
 	}
+	terms := []int{1, 2, 5, 10, 20, 50, -1}
+	results := make([]*leqa.EstimateResult, len(terms))
+	err = forEach(len(terms), 0, func(i int) error {
+		res, err := leqa.EstimateWith(ft, p, leqa.EstimateOptions{Truncation: terms[i]})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Truncation ablation on %s (Q=%d qubits)\n", name, ft.NumQubits())
 	fmt.Fprintf(w, "%8s %14s %14s\n", "terms", "L_CNOT(µs)", "estimate(s)")
 	var ref float64
-	for _, terms := range []int{1, 2, 5, 10, 20, 50, -1} {
-		est, err := core.New(p, core.Options{Truncation: terms})
-		if err != nil {
-			return err
-		}
-		res, err := est.Estimate(ft)
-		if err != nil {
-			return err
-		}
-		label := fmt.Sprintf("%d", terms)
-		if terms == -1 {
+	for i, t := range terms {
+		label := fmt.Sprintf("%d", t)
+		if t == -1 {
 			label = "all"
-			ref = res.EstimatedLatency
+			ref = results[i].EstimatedLatency
 		}
-		fmt.Fprintf(w, "%8s %14.2f %14.4f\n", label, res.LCNOTAvg, res.EstimatedLatency/1e6)
+		fmt.Fprintf(w, "%8s %14.2f %14.4f\n", label, results[i].LCNOTAvg, results[i].EstimatedLatency/1e6)
 	}
 	if ref > 0 {
-		est, _ := core.New(p, core.Options{})
-		res, err := est.Estimate(ft)
+		res, err := leqa.Estimate(ft, p)
 		if err != nil {
 			return err
 		}
@@ -66,29 +75,31 @@ func AblationTruncation(w io.Writer, name string, p fabric.Params) error {
 // AblationCongestion compares the full estimator against the
 // congestion-model-disabled variant across the small benchmarks.
 func AblationCongestion(w io.Writer, names []string, p fabric.Params) error {
+	type pair struct{ on, off *leqa.EstimateResult }
+	results := make([]pair, len(names))
+	err := forEach(len(names), 0, func(i int) error {
+		ft, err := benchgen.GenerateFT(names[i])
+		if err != nil {
+			return err
+		}
+		rOn, err := leqa.Estimate(ft, p)
+		if err != nil {
+			return err
+		}
+		rOff, err := leqa.EstimateWith(ft, p, leqa.EstimateOptions{DisableCongestion: true})
+		if err != nil {
+			return err
+		}
+		results[i] = pair{on: rOn, off: rOff}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Congestion-model ablation (LEQA with/without Eq. 8 queueing)")
 	fmt.Fprintf(w, "%-17s %12s %12s %9s\n", "Benchmark", "with(s)", "without(s)", "delta(%)")
-	for _, name := range names {
-		ft, err := benchgen.GenerateFT(name)
-		if err != nil {
-			return err
-		}
-		on, err := core.New(p, core.Options{})
-		if err != nil {
-			return err
-		}
-		off, err := core.New(p, core.Options{DisableCongestion: true})
-		if err != nil {
-			return err
-		}
-		rOn, err := on.Estimate(ft)
-		if err != nil {
-			return err
-		}
-		rOff, err := off.Estimate(ft)
-		if err != nil {
-			return err
-		}
+	for i, name := range names {
+		rOn, rOff := results[i].on, results[i].off
 		delta := stats.AbsErrorPct(rOn.EstimatedLatency, rOff.EstimatedLatency)
 		fmt.Fprintf(w, "%-17s %12.4f %12.4f %9.3f\n",
 			name, rOn.EstimatedLatency/1e6, rOff.EstimatedLatency/1e6, delta)
@@ -100,24 +111,41 @@ func AblationCongestion(w io.Writer, names []string, p fabric.Params) error {
 // vs row-major) on the given benchmarks — a design-choice check for the
 // baseline mapper.
 func AblationPlacement(w io.Writer, names []string, p fabric.Params) error {
-	fmt.Fprintln(w, "QSPR placement ablation (actual latency, seconds)")
-	fmt.Fprintf(w, "%-17s %12s %12s %12s %12s\n", "Benchmark", "clustered", "spaced", "spread", "rowmajor")
-	strategies := []qspr.Placement{qspr.PlaceClustered, qspr.PlaceSpaced, qspr.PlaceSpread, qspr.PlaceRowMajor}
-	for _, name := range names {
+	strategies := []leqa.MapOptions{
+		{Placement: leqa.PlaceClustered}, {Placement: leqa.PlaceSpaced},
+		{Placement: leqa.PlaceSpread}, {Placement: leqa.PlaceRowMajor},
+	}
+	// One flat pool over the names × strategies cross product keeps the
+	// number of concurrent detailed mappers at a single GOMAXPROCS bound.
+	circuits := make([]*leqa.Circuit, len(names))
+	for i, name := range names {
 		ft, err := benchgen.GenerateFT(name)
 		if err != nil {
 			return err
 		}
+		circuits[i] = ft
+	}
+	results := make([][]*leqa.MapResult, len(names))
+	for i := range results {
+		results[i] = make([]*leqa.MapResult, len(strategies))
+	}
+	err := forEach(len(names)*len(strategies), 0, func(k int) error {
+		i, j := k/len(strategies), k%len(strategies)
+		res, err := leqa.MapActualWith(circuits[i], p, strategies[j])
+		if err != nil {
+			return err
+		}
+		results[i][j] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "QSPR placement ablation (actual latency, seconds)")
+	fmt.Fprintf(w, "%-17s %12s %12s %12s %12s\n", "Benchmark", "clustered", "spaced", "spread", "rowmajor")
+	for i, name := range names {
 		fmt.Fprintf(w, "%-17s", name)
-		for _, pl := range strategies {
-			m, err := qspr.New(p, qspr.Options{Placement: pl})
-			if err != nil {
-				return err
-			}
-			res, err := m.Map(ft)
-			if err != nil {
-				return err
-			}
+		for _, res := range results[i] {
 			fmt.Fprintf(w, " %12.4f", res.Latency/1e6)
 		}
 		fmt.Fprintln(w)
@@ -128,30 +156,32 @@ func AblationPlacement(w io.Writer, names []string, p fabric.Params) error {
 // AblationMeeting compares the greedy CNOT meeting-point policy against
 // midpoint meeting in QSPR.
 func AblationMeeting(w io.Writer, names []string, p fabric.Params) error {
+	type pair struct{ greedy, midpoint *leqa.MapResult }
+	results := make([]pair, len(names))
+	err := forEach(len(names), 0, func(i int) error {
+		ft, err := benchgen.GenerateFT(names[i])
+		if err != nil {
+			return err
+		}
+		rg, err := leqa.MapActualWith(ft, p, leqa.MapOptions{})
+		if err != nil {
+			return err
+		}
+		rm, err := leqa.MapActualWith(ft, p, leqa.MapOptions{MidpointMeeting: true})
+		if err != nil {
+			return err
+		}
+		results[i] = pair{greedy: rg, midpoint: rm}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "QSPR CNOT meeting-policy ablation (actual latency, seconds)")
 	fmt.Fprintf(w, "%-17s %12s %12s\n", "Benchmark", "greedy", "midpoint")
-	for _, name := range names {
-		ft, err := benchgen.GenerateFT(name)
-		if err != nil {
-			return err
-		}
-		greedy, err := qspr.New(p, qspr.Options{})
-		if err != nil {
-			return err
-		}
-		mid, err := qspr.New(p, qspr.Options{MidpointMeeting: true})
-		if err != nil {
-			return err
-		}
-		rg, err := greedy.Map(ft)
-		if err != nil {
-			return err
-		}
-		rm, err := mid.Map(ft)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-17s %12.4f %12.4f\n", name, rg.Latency/1e6, rm.Latency/1e6)
+	for i, name := range names {
+		fmt.Fprintf(w, "%-17s %12.4f %12.4f\n",
+			name, results[i].greedy.Latency/1e6, results[i].midpoint.Latency/1e6)
 	}
 	return nil
 }
@@ -182,58 +212,73 @@ func AblationChannelCapacity(w io.Writer, name string, p fabric.Params) error {
 	if err != nil {
 		return err
 	}
+	ncs := []int{1, 2, 5, 10, 20}
+	type pair struct {
+		act *leqa.MapResult
+		est *leqa.EstimateResult
+	}
+	results := make([]pair, len(ncs))
+	err = forEach(len(ncs), 0, func(i int) error {
+		q := p.Clone()
+		q.ChannelCapacity = ncs[i]
+		act, err := leqa.MapActual(ft, q)
+		if err != nil {
+			return err
+		}
+		est, err := leqa.Estimate(ft, q)
+		if err != nil {
+			return err
+		}
+		results[i] = pair{act: act, est: est}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Channel-capacity sweep on %s\n", name)
 	fmt.Fprintf(w, "%4s %14s %14s\n", "Nc", "QSPR act(s)", "LEQA est(s)")
-	for _, nc := range []int{1, 2, 5, 10, 20} {
-		q := p.Clone()
-		q.ChannelCapacity = nc
-		m, err := qspr.New(q, qspr.Options{})
-		if err != nil {
-			return err
-		}
-		act, err := m.Map(ft)
-		if err != nil {
-			return err
-		}
-		e, err := core.New(q, core.Options{})
-		if err != nil {
-			return err
-		}
-		est, err := e.Estimate(ft)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%4d %14.4f %14.4f\n", nc, act.Latency/1e6, est.EstimatedLatency/1e6)
+	for i, nc := range ncs {
+		fmt.Fprintf(w, "%4d %14.4f %14.4f\n",
+			nc, results[i].act.Latency/1e6, results[i].est.EstimatedLatency/1e6)
 	}
 	return nil
 }
 
 // FabricSizeSweep reruns LEQA over a range of fabric sizes — the use case
 // the paper calls out ("this value can be changed to find the optimal size
-// for the fabric").
+// for the fabric"). Sizes evaluate concurrently; each distinct grid memoizes
+// one zone model, so rerunning the sweep on another circuit with the same
+// interaction profile is nearly free.
 func FabricSizeSweep(w io.Writer, name string, p fabric.Params, sizes []int) error {
 	ft, err := benchgen.GenerateFT(name)
 	if err != nil {
 		return err
 	}
+	results := make([]*leqa.EstimateResult, len(sizes))
+	err = forEach(len(sizes), 0, func(i int) error {
+		q := p.Clone()
+		q.Grid = fabric.Grid{Width: sizes[i], Height: sizes[i]}
+		if q.Grid.Area() < ft.NumQubits() {
+			return nil // rendered as "too small" below
+		}
+		res, err := leqa.Estimate(ft, q)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "Fabric-size sweep on %s (LEQA estimate per size)\n", name)
 	fmt.Fprintf(w, "%8s %14s %12s\n", "fabric", "estimate(s)", "L_CNOT(µs)")
-	for _, s := range sizes {
-		q := p.Clone()
-		q.Grid = fabric.Grid{Width: s, Height: s}
-		if q.Grid.Area() < ft.NumQubits() {
+	for i, s := range sizes {
+		if results[i] == nil {
 			fmt.Fprintf(w, "%5dx%-3d %14s %12s\n", s, s, "too small", "-")
 			continue
 		}
-		e, err := core.New(q, core.Options{})
-		if err != nil {
-			return err
-		}
-		res, err := e.Estimate(ft)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%5dx%-3d %14.4f %12.1f\n", s, s, res.EstimatedLatency/1e6, res.LCNOTAvg)
+		fmt.Fprintf(w, "%5dx%-3d %14.4f %12.1f\n", s, s, results[i].EstimatedLatency/1e6, results[i].LCNOTAvg)
 	}
 	return nil
 }

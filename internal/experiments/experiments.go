@@ -9,15 +9,26 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/benchgen"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/pool"
 	"repro/internal/qspr"
 	"repro/internal/stats"
 )
+
+// forEach runs fn(i) for every i in [0, n) across a bounded worker pool,
+// aborting the feed on the first failure (a bad benchmark name must not
+// cost hours of detailed mapping on the rest of the suite). Callers store
+// per-index results themselves, so output stays in input order regardless
+// of which worker ran what. workers ≤ 0 selects GOMAXPROCS.
+func forEach(n, workers int, fn func(i int) error) error {
+	return pool.ForEach(n, workers, true, fn)
+}
 
 // Row is one benchmark's full measurement set (Table 2 + Table 3 columns).
 type Row struct {
@@ -82,19 +93,30 @@ func RunCircuit(ft *circuit.Circuit, p fabric.Params) (Row, error) {
 	return row, nil
 }
 
-// RunSuite measures every named benchmark. Errors abort; the paper's suite
-// must run whole.
-func RunSuite(names []string, p fabric.Params, progress io.Writer) ([]Row, error) {
-	rows := make([]Row, 0, len(names))
-	for _, name := range names {
-		if progress != nil {
-			fmt.Fprintf(progress, "running %s...\n", name)
-		}
-		row, err := RunBenchmark(name, p)
+// RunSuite measures every named benchmark, fanning the per-benchmark work
+// (generation, QSPR mapping, LEQA estimation) across a worker pool. Rows
+// come back in input order. Errors abort; the paper's suite must run whole.
+// workers ≤ 0 selects GOMAXPROCS; note that per-row runtime columns measure
+// wall time under whatever contention the pool creates, so use workers = 1
+// when clean Table 3 runtime numbers matter more than suite throughput.
+func RunSuite(names []string, p fabric.Params, workers int, progress io.Writer) ([]Row, error) {
+	rows := make([]Row, len(names))
+	var mu sync.Mutex
+	err := forEach(len(names), workers, func(i int) error {
+		row, err := RunBenchmark(names[i], p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		if progress != nil {
+			mu.Lock()
+			fmt.Fprintf(progress, "finished %s (err %.2f%%)\n", names[i], row.ErrorPct)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

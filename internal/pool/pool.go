@@ -1,0 +1,62 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// public sweep engine (leqa.Runner) and the experiments harness, so the
+// fan-out/feed/drain skeleton exists exactly once.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker pool
+// and returns the lowest-index error recorded. Callers store per-index
+// results themselves, so output order never depends on scheduling.
+// workers ≤ 0 selects GOMAXPROCS.
+//
+// With stopOnErr, the feed stops after the first failure and already-queued
+// indices are drained without running, so one bad item cannot cost the full
+// batch; fn is then not called for every index. Without it, fn runs for all
+// n indices regardless of failures — the mode batch engines use to keep
+// every result slot accounted for.
+func ForEach(n, workers int, stopOnErr bool, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stopOnErr && failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if stopOnErr && failed.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	const n = 100
+	var ran [n]atomic.Int32
+	if err := ForEach(n, 7, false, func(i int) error {
+		ran[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForEach(10, 1, false, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachStopOnErrAborts(t *testing.T) {
+	// Sequential pool: an early failure must keep later indices from
+	// running at all.
+	var ran atomic.Int32
+	err := ForEach(1000, 1, true, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("all %d indices ran despite stopOnErr", got)
+	}
+}
+
+func TestForEachWithoutStopRunsAll(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(50, 4, false, func(i int) error {
+		ran.Add(1)
+		if i%10 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 50 {
+		t.Errorf("ran %d of 50 indices; stopOnErr=false must run all", got)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, 4, true, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEach(10, 0, false, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10", ran.Load())
+	}
+}

@@ -1,0 +1,108 @@
+package zonemodel
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultCacheSize bounds the shared memo. Each entry holds two Kmax-length
+// float slices (a few hundred bytes at the paper's 20-term truncation), so
+// even a saturated cache stays tiny; the bound exists to keep unbounded
+// parameter sweeps (e.g. fabric-size scans over thousands of grids) from
+// growing without limit.
+const DefaultCacheSize = 256
+
+// Cache is a concurrency-safe LRU memo from Key to Model. Lookups of a key
+// being computed by another goroutine block until that computation finishes
+// (single-flight), so N concurrent estimates on the same fabric run the
+// model exactly once.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	items    map[Key]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key   Key
+	once  sync.Once
+	model *Model
+	err   error
+}
+
+// Shared is the process-wide memo used by the estimator core.
+var Shared = NewCache(DefaultCacheSize)
+
+// NewCache builds an LRU memo holding up to capacity models.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the memoized model for key, computing it on first use. The
+// compute runs outside the cache lock; concurrent callers for the same key
+// share one computation via sync.Once.
+func (c *Cache) Get(key Key) (*Model, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		e.once.Do(func() { e.model, e.err = Compute(e.key) })
+		return e.model, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: key}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	// An entry evicted while still being computed stays valid for everyone
+	// already holding it; it just stops being findable.
+	e.once.Do(func() { e.model, e.err = Compute(e.key) })
+	return e.model, e.err
+}
+
+// Len reports the number of resident models.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative lookup counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache and resets its statistics.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+	c.hits, c.misses = 0, 0
+}
+
+// String renders a one-line diagnostic (for verbose reports).
+func (c *Cache) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("zonemodel.Cache{len=%d cap=%d hits=%d misses=%d}",
+		c.ll.Len(), c.capacity, c.hits, c.misses)
+}

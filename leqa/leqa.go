@@ -52,10 +52,20 @@ type (
 	MapResult = qspr.Result
 	// MapOptions tunes the detailed mapper.
 	MapOptions = qspr.Options
+	// Placement selects the detailed mapper's initial placement strategy.
+	Placement = qspr.Placement
 	// QODG is the quantum operation dependency graph.
 	QODG = qodg.Graph
 	// IIG is the interaction intensity graph.
 	IIG = iig.Graph
+)
+
+// The detailed mapper's placement strategies, re-exported for MapOptions.
+const (
+	PlaceClustered = qspr.PlaceClustered
+	PlaceSpaced    = qspr.PlaceSpaced
+	PlaceSpread    = qspr.PlaceSpread
+	PlaceRowMajor  = qspr.PlaceRowMajor
 )
 
 // DefaultParams returns the paper's Table 1 parameter set.

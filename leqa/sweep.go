@@ -1,0 +1,135 @@
+package leqa
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/benchgen"
+	"repro/internal/core"
+	"repro/internal/iig"
+	"repro/internal/pool"
+	"repro/internal/qodg"
+)
+
+// SweepResult is one circuit's outcome inside a batch run. Results keep the
+// input order: result i always describes circuit i, whichever worker ran it.
+type SweepResult struct {
+	// Index is the circuit's position in the input slice.
+	Index int
+	// Name echoes the circuit (or benchmark) name.
+	Name string
+	// Result is the estimate; nil when Err is set.
+	Result *EstimateResult
+	// Err is the per-circuit failure (non-FT gates, bad generator name,
+	// cancellation), leaving the other circuits' results intact.
+	Err error
+}
+
+// Runner is the concurrent batch-estimation engine: a fixed worker pool
+// that builds each circuit's QODG and IIG and runs LEQA on them, sharing
+// the estimator (and through it the memoized zone model) across workers.
+// Safe for concurrent use; construct once and reuse across sweeps.
+type Runner struct {
+	est     *core.Estimator
+	workers int
+}
+
+// NewRunner validates the parameters and builds a Runner. workers ≤ 0
+// selects GOMAXPROCS.
+func NewRunner(p Params, opt EstimateOptions, workers int) (*Runner, error) {
+	est, err := core.New(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{est: est, workers: workers}, nil
+}
+
+// Workers reports the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run estimates every circuit, fanning the per-circuit work (graph builds +
+// Algorithm 1) across the pool. The returned slice has one entry per input
+// circuit in input order. The error is non-nil only when ctx was cancelled;
+// per-circuit failures land in SweepResult.Err so one bad netlist cannot
+// sink a fleet of good ones.
+func (r *Runner) Run(ctx context.Context, circuits []*Circuit) ([]SweepResult, error) {
+	return r.run(ctx, len(circuits), func(i int) SweepResult {
+		c := circuits[i]
+		sr := SweepResult{Index: i, Name: c.Name}
+		sr.Result, sr.Err = r.estimateOne(c)
+		return sr
+	}, func(i int) string { return circuits[i].Name })
+}
+
+// RunNamed is Run for generator specs (gf2^16mult, hwb50ps, ...): each
+// worker generates the named benchmark, lowers it to the FT gate set and
+// estimates it, so even circuit synthesis is parallelized.
+func (r *Runner) RunNamed(ctx context.Context, names []string) ([]SweepResult, error) {
+	return r.run(ctx, len(names), func(i int) SweepResult {
+		sr := SweepResult{Index: i, Name: names[i]}
+		c, err := benchgen.GenerateFT(names[i])
+		if err != nil {
+			sr.Err = fmt.Errorf("leqa: generating %q: %w", names[i], err)
+			return sr
+		}
+		sr.Result, sr.Err = r.estimateOne(c)
+		return sr
+	}, func(i int) string { return names[i] })
+}
+
+// estimateOne builds the graphs and runs the estimator for one circuit.
+func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
+	if !c.IsFT() {
+		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+	}
+	g, err := qodg.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	ig, err := iig.Build(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.est.EstimateGraphs(c, g, ig)
+}
+
+// run fans the per-item work across the shared pool primitive. Every slot
+// is dispatched even after cancellation — workers fast-path cancelled items
+// into an error result — so the output always accounts for every input.
+func (r *Runner) run(ctx context.Context, n int, work func(i int) SweepResult, name func(i int) string) ([]SweepResult, error) {
+	results := make([]SweepResult, n)
+	pool.ForEach(n, r.workers, false, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			results[i] = SweepResult{Index: i, Name: name(i), Err: err}
+			return nil
+		}
+		results[i] = work(i)
+		return nil
+	})
+	return results, ctx.Err()
+}
+
+// Sweep estimates every circuit concurrently with default options and a
+// GOMAXPROCS-sized pool — the batch counterpart of Estimate.
+func Sweep(ctx context.Context, circuits []*Circuit, p Params) ([]SweepResult, error) {
+	r, err := NewRunner(p, EstimateOptions{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, circuits)
+}
+
+// SweepNamed estimates every named built-in benchmark concurrently with
+// default options — generation, FT lowering, graph builds and estimation
+// all run inside the pool.
+func SweepNamed(ctx context.Context, names []string, p Params) ([]SweepResult, error) {
+	r, err := NewRunner(p, EstimateOptions{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunNamed(ctx, names)
+}
