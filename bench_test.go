@@ -20,16 +20,30 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/benchgen"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/iig"
+	"repro/internal/qodg"
 	"repro/internal/qspr"
 	"repro/internal/stats"
 	"repro/internal/zonemodel"
 	"repro/leqa"
 )
+
+// skipHeavyInShort gates the QSPR-backed benchmarks out of the CI bench
+// smoke run (`go test -run '^$' -bench . -benchtime 1x -short`): detailed
+// mapping of the large rows takes minutes to hours, which the smoke step
+// only needs to prove compiles-and-runs for the estimator-side targets.
+func skipHeavyInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("detailed-mapper benchmark skipped in -short mode")
+	}
+}
 
 // quickSuite is the benchmark subset used by default bench runs; the full
 // 18-row suite (incl. the 983k-op gf2^256mult) runs under -bench=Full.
@@ -71,6 +85,7 @@ func BenchmarkTable2(b *testing.B) {
 			}
 		})
 		b.Run("QSPR/"+sanitize(name), func(b *testing.B) {
+			skipHeavyInShort(b)
 			m, err := qspr.New(p, qspr.Options{})
 			if err != nil {
 				b.Fatal(err)
@@ -89,6 +104,7 @@ func BenchmarkTable2(b *testing.B) {
 // reports the speedup per row as a custom metric — the full Table 3.
 // Use -benchtime=1x; the largest row maps ~1M operations.
 func BenchmarkTable3Full(b *testing.B) {
+	skipHeavyInShort(b)
 	p := fabric.Default()
 	for _, name := range benchgen.Names() {
 		name := name
@@ -202,6 +218,98 @@ func BenchmarkSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkAnalyze measures the circuit-analysis front end on a
+// Shor-scale workload (gf2^128mult, 246k FT operations): the fused
+// single-pass CSR build against the pre-refactor two-pass reference
+// builders (per-node append slices + sort/dedup for the QODG, per-qubit
+// neighbor maps for the IIG), and against the standalone CSR builders as
+// the two-scan/no-maps midpoint.
+func BenchmarkAnalyze(b *testing.B) {
+	c := ftCircuit(b, "gf2^128mult")
+	b.Run("FusedCSR", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.Analyze(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TwoPassCSR", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := qodg.Build(c); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iig.Build(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LegacyTwoPass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := qodg.BuildReference(c); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iig.BuildReference(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepGrid runs the quick suite × 3 parameter sets through the
+// cross-product engine — the fabric-sizing batch path — against the naive
+// per-cell Estimate loop that rebuilds the graphs for every cell.
+func BenchmarkSweepGrid(b *testing.B) {
+	circuits := make([]*circuit.Circuit, len(quickSuite))
+	for i, name := range quickSuite {
+		circuits[i] = ftCircuit(b, name)
+	}
+	p1 := fabric.Default()
+	p2 := fabric.Default()
+	p2.Grid = fabric.Grid{Width: 90, Height: 90}
+	p3 := fabric.Default()
+	p3.ChannelCapacity = 2
+	paramSets := []fabric.Params{p1, p2, p3}
+
+	b.Run("Grid", func(b *testing.B) {
+		runner, err := leqa.NewRunner(p1, core.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cells, err := runner.SweepGrid(ctx, circuits, paramSets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cell := range cells {
+				if cell.Err != nil {
+					b.Fatal(cell.Err)
+				}
+			}
+		}
+	})
+	b.Run("SequentialCells", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range paramSets {
+				est, err := core.New(p, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range circuits {
+					if _, err := est.Estimate(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkFigure5QueueModel times the M/M/1 evaluation (Eq. 8–11) — the
 // Figure 5 model on its own.
 func BenchmarkFigure5QueueModel(b *testing.B) {
@@ -266,6 +374,7 @@ func BenchmarkScalingLEQA(b *testing.B) {
 // BenchmarkScalingQSPR is the matching sweep for the detailed mapper (the
 // §4.2 superlinear-scaling side).
 func BenchmarkScalingQSPR(b *testing.B) {
+	skipHeavyInShort(b)
 	p := fabric.Default()
 	for _, n := range []int{16, 32, 64, 128} {
 		name := fmt.Sprintf("gf2^%dmult", n)

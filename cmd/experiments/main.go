@@ -45,8 +45,14 @@ func run() error {
 		full        = flag.Bool("full", false, "include the largest benchmarks (gf2^128mult, hwb200ps, gf2^256mult)")
 		calibrate   = flag.Bool("calibrate", false, "calibrate 𝓋 against this repo's QSPR on the small benchmarks first")
 		workers     = flag.Int("workers", 0, "suite worker-pool size (0 = GOMAXPROCS; use 1 for clean Table 3 runtime columns)")
+		verbose     = flag.Bool("verbose", false, "print zone-model cache statistics after the run")
 	)
 	flag.Parse()
+	defer func() {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "zone-model cache: %s\n", leqa.ZoneModelCacheStats())
+		}
+	}()
 	w := os.Stdout
 	p := fabric.Default()
 

@@ -6,21 +6,27 @@
 //	leqa [flags] <circuit.qc | benchmark-name> [more circuits...]
 //
 // Each positional argument is either a .qc netlist file or a generator spec
-// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder. With more
-// than one circuit the estimates fan out across a worker pool (the
-// leqa.Runner sweep engine) and print as a table in argument order.
+// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder. The
+// repeatable -grid/-capacity/-speed flags form a parameter matrix (their
+// cross product); circuits × parameter sets fan out across a worker pool
+// (the leqa.Runner sweep-grid engine), each circuit analyzed exactly once,
+// and print as a table in argument order.
 //
 // Flags:
 //
-//	-width/-height    fabric dimensions (default 60x60, Table 1)
-//	-nc               channel capacity (default 5)
-//	-v                qubit speed 𝓋 (default 0.001)
+//	-grid WxH         fabric dimensions; repeatable (-grid 60x60 -grid 90x90)
+//	-capacity N       channel capacity; repeatable
+//	-speed V          qubit speed 𝓋; repeatable
+//	-width/-height    fallback fabric dimensions when no -grid given (60x60)
+//	-nc               fallback channel capacity when no -capacity given (5)
+//	-v                fallback qubit speed when no -speed given (0.001)
 //	-tmove            per-hop move time in µs (default 100)
 //	-truncation       E[S_q] term limit (default 20; -1 = exact)
 //	-no-congestion    disable the M/M/1 congestion model
 //	-decompose        lower non-FT gates before estimating
 //	-workers          sweep worker-pool size (default GOMAXPROCS)
-//	-verbose          print model intermediates
+//	-json/-csv        emit machine-readable results for baseline diffing
+//	-verbose          print model intermediates and cache statistics
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"repro/leqa"
 )
@@ -40,22 +48,88 @@ func main() {
 	}
 }
 
+// gridList collects repeatable -grid WxH values.
+type gridList []leqa.Grid
+
+func (g *gridList) String() string {
+	parts := make([]string, len(*g))
+	for i, v := range *g {
+		parts[i] = fmt.Sprintf("%dx%d", v.Width, v.Height)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gridList) Set(s string) error {
+	w, h, ok := strings.Cut(s, "x")
+	if !ok {
+		return fmt.Errorf("grid %q must look like 60x60", s)
+	}
+	width, err := strconv.Atoi(w)
+	if err != nil {
+		return fmt.Errorf("grid width %q: %v", w, err)
+	}
+	height, err := strconv.Atoi(h)
+	if err != nil {
+		return fmt.Errorf("grid height %q: %v", h, err)
+	}
+	*g = append(*g, leqa.Grid{Width: width, Height: height})
+	return nil
+}
+
+// intList collects repeatable integer flag values.
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+// floatList collects repeatable float flag values.
+type floatList []float64
+
+func (l *floatList) String() string { return fmt.Sprint([]float64(*l)) }
+func (l *floatList) Set(s string) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
 func run() error {
 	var (
-		width        = flag.Int("width", 60, "fabric width (ULB columns)")
-		height       = flag.Int("height", 60, "fabric height (ULB rows)")
-		nc           = flag.Int("nc", 5, "routing channel capacity Nc")
-		speed        = flag.Float64("v", 0.001, "qubit speed 𝓋 (ULB sides per µs)")
+		grids      gridList
+		capacities intList
+		speeds     floatList
+
+		width        = flag.Int("width", 60, "fabric width when no -grid is given (ULB columns)")
+		height       = flag.Int("height", 60, "fabric height when no -grid is given (ULB rows)")
+		nc           = flag.Int("nc", 5, "routing channel capacity Nc when no -capacity is given")
+		speed        = flag.Float64("v", 0.001, "qubit speed 𝓋 when no -speed is given (ULB sides per µs)")
 		tmove        = flag.Float64("tmove", 100, "per-hop move time T_move (µs)")
 		truncation   = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
 		noCongestion = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
 		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
 		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
-		verbose      = flag.Bool("verbose", false, "print model intermediates")
+		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
+		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
+		verbose      = flag.Bool("verbose", false, "print model intermediates and cache statistics")
 	)
+	flag.Var(&grids, "grid", "fabric WxH; repeat to sweep fabrics (-grid 60x60 -grid 90x90)")
+	flag.Var(&capacities, "capacity", "channel capacity Nc; repeat to sweep capacities")
+	flag.Var(&speeds, "speed", "qubit speed 𝓋; repeat to sweep speeds")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name> [more circuits...]")
+	}
+	if *jsonOut && *csvOut {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -78,29 +152,76 @@ func run() error {
 		circuits = append(circuits, c)
 	}
 
-	p := leqa.DefaultParams()
-	p.Grid = leqa.Grid{Width: *width, Height: *height}
-	p.ChannelCapacity = *nc
-	p.QubitSpeed = *speed
-	p.TMove = *tmove
+	// The parameter matrix: grids × capacities × speeds, each axis falling
+	// back to its single-value flag when not repeated.
+	if len(grids) == 0 {
+		grids = gridList{{Width: *width, Height: *height}}
+	}
+	if len(capacities) == 0 {
+		capacities = intList{*nc}
+	}
+	if len(speeds) == 0 {
+		speeds = floatList{*speed}
+	}
+	base := leqa.DefaultParams()
+	base.TMove = *tmove
+	paramSets := make([]leqa.Params, 0, len(grids)*len(capacities)*len(speeds))
+	for _, g := range grids {
+		for _, cap := range capacities {
+			for _, v := range speeds {
+				p := base.Clone()
+				p.Grid = g
+				p.ChannelCapacity = cap
+				p.QubitSpeed = v
+				paramSets = append(paramSets, p)
+			}
+		}
+	}
+
 	opt := leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion}
-	runner, err := leqa.NewRunner(p, opt, *workers)
+	runner, err := leqa.NewRunner(paramSets[0], opt, *workers)
 	if err != nil {
 		return err
 	}
-	results, err := runner.Run(ctx, circuits)
+	cells, err := runner.SweepGrid(ctx, circuits, paramSets)
 	if err != nil {
 		return err
 	}
-	if len(results) == 1 {
-		sr := results[0]
+
+	switch {
+	case *jsonOut:
+		err = firstCellErr(cells, leqa.WriteResultsJSON(os.Stdout, cells))
+	case *csvOut:
+		err = firstCellErr(cells, leqa.WriteResultsCSV(os.Stdout, cells))
+	case len(cells) == 1:
+		sr := cells[0]
 		if sr.Err != nil {
 			return sr.Err
 		}
 		printDetailed(sr.Name, sr.Result, *verbose)
-		return nil
+	default:
+		err = printTable(cells, len(paramSets) > 1, *verbose)
 	}
-	return printTable(results, *verbose)
+	if len(cells) > 1 || *verbose {
+		st := leqa.ZoneModelCacheStats()
+		fmt.Fprintf(os.Stderr, "zone-model cache: %s\n", st)
+	}
+	return err
+}
+
+// firstCellErr makes machine-readable runs exit non-zero when any cell
+// failed (matching the table path): the emitter error wins, then the first
+// per-cell error — which is still present in the emitted records.
+func firstCellErr(cells []leqa.GridCell, emitErr error) error {
+	if emitErr != nil {
+		return emitErr
+	}
+	for _, cell := range cells {
+		if cell.Err != nil {
+			return fmt.Errorf("estimating %q: %w", cell.Name, cell.Err)
+		}
+	}
+	return nil
 }
 
 func printDetailed(name string, res *leqa.EstimateResult, verbose bool) {
@@ -119,10 +240,15 @@ func printDetailed(name string, res *leqa.EstimateResult, verbose bool) {
 	}
 }
 
-func printTable(results []leqa.SweepResult, verbose bool) error {
-	fmt.Printf("%-20s %7s %10s %14s %12s\n", "circuit", "qubits", "ops", "estimate(s)", "L_CNOT(µs)")
+func printTable(cells []leqa.GridCell, multiParams, verbose bool) error {
+	if multiParams {
+		fmt.Printf("%-20s %9s %4s %8s %7s %10s %14s %12s\n",
+			"circuit", "fabric", "Nc", "v", "qubits", "ops", "estimate(s)", "L_CNOT(µs)")
+	} else {
+		fmt.Printf("%-20s %7s %10s %14s %12s\n", "circuit", "qubits", "ops", "estimate(s)", "L_CNOT(µs)")
+	}
 	var firstErr error
-	for _, sr := range results {
+	for _, sr := range cells {
 		if sr.Err != nil {
 			fmt.Printf("%-20s error: %v\n", sr.Name, sr.Err)
 			if firstErr == nil {
@@ -131,16 +257,29 @@ func printTable(results []leqa.SweepResult, verbose bool) error {
 			continue
 		}
 		r := sr.Result
-		fmt.Printf("%-20s %7d %10d %14.4f %12.1f\n",
-			sr.Name, r.Qubits, r.Operations, r.EstimatedLatency/1e6, r.LCNOTAvg)
+		if multiParams {
+			fabric := fmt.Sprintf("%dx%d", sr.Params.Grid.Width, sr.Params.Grid.Height)
+			fmt.Printf("%-20s %9s %4d %8g %7d %10d %14.4f %12.1f\n",
+				sr.Name, fabric, sr.Params.ChannelCapacity, sr.Params.QubitSpeed,
+				r.Qubits, r.Operations, r.EstimatedLatency/1e6, r.LCNOTAvg)
+		} else {
+			fmt.Printf("%-20s %7d %10d %14.4f %12.1f\n",
+				sr.Name, r.Qubits, r.Operations, r.EstimatedLatency/1e6, r.LCNOTAvg)
+		}
 	}
 	if verbose {
-		for _, sr := range results {
+		for _, sr := range cells {
 			if sr.Err != nil {
 				continue
 			}
+			label := sr.Name
+			if multiParams {
+				label = fmt.Sprintf("%s @ %dx%d Nc=%d v=%g", sr.Name,
+					sr.Params.Grid.Width, sr.Params.Grid.Height,
+					sr.Params.ChannelCapacity, sr.Params.QubitSpeed)
+			}
 			fmt.Println()
-			printDetailed(sr.Name, sr.Result, true)
+			printDetailed(label, sr.Result, true)
 		}
 	}
 	return firstErr

@@ -1,9 +1,14 @@
-// Command qodgdump prints the quantum operation dependency graph (QODG) of
-// a circuit in Graphviz DOT form — regenerating the paper's Fig. 2(b).
+// Command qodgdump prints a circuit's analysis graphs in Graphviz DOT form:
+// the quantum operation dependency graph (QODG, regenerating the paper's
+// Fig. 2b) and/or the interaction intensity graph (IIG).
 //
 // Usage:
 //
-//	qodgdump [-iig] <circuit.qc | benchmark-name>
+//	qodgdump [-iig] [-both] <circuit.qc | benchmark-name>
+//
+// By default only the QODG is dumped; -iig dumps only the IIG. Each graph
+// is built only when its output is requested — and when both are (-both),
+// the fused analysis layer builds the pair in a single pass.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/benchgen"
 	"repro/internal/circuit"
 	"repro/internal/decompose"
@@ -28,11 +34,12 @@ func main() {
 func run() error {
 	var (
 		dumpIIG = flag.Bool("iig", false, "dump the interaction intensity graph instead")
+		both    = flag.Bool("both", false, "dump QODG and IIG (one fused analysis pass)")
 		lowerFT = flag.Bool("ft", true, "lower to the FT gate set first (Fig. 2 shows the FT netlist)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: qodgdump [-iig] <circuit.qc | benchmark-name>")
+		return fmt.Errorf("usage: qodgdump [-iig] [-both] <circuit.qc | benchmark-name>")
 	}
 	arg := flag.Arg(0)
 	var c *circuit.Circuit
@@ -51,21 +58,41 @@ func run() error {
 			return err
 		}
 	}
-	if *dumpIIG {
-		ig, err := iig.Build(c)
+
+	wantQODG := !*dumpIIG || *both
+	wantIIG := *dumpIIG || *both
+
+	// Build only what will be printed; a combined request shares one pass.
+	var g *qodg.Graph
+	var ig *iig.Graph
+	switch {
+	case wantQODG && wantIIG:
+		a, err := analysis.Analyze(c)
 		if err != nil {
 			return err
 		}
+		g, ig = a.QODG, a.IIG
+	case wantQODG:
+		if g, err = qodg.Build(c); err != nil {
+			return err
+		}
+	default:
+		if ig, err = iig.Build(c); err != nil {
+			return err
+		}
+	}
+
+	if wantQODG {
+		if err := g.WriteDOT(os.Stdout, c.Name); err != nil {
+			return err
+		}
+	}
+	if wantIIG {
 		fmt.Printf("graph %q {\n", c.Name+"_iig")
 		for _, e := range ig.Edges() {
 			fmt.Printf("  q%d -- q%d [label=\"%d\"];\n", e.A, e.B, e.Weight)
 		}
 		fmt.Println("}")
-		return nil
 	}
-	g, err := qodg.Build(c)
-	if err != nil {
-		return err
-	}
-	return g.WriteDOT(os.Stdout, c.Name)
+	return nil
 }

@@ -2,12 +2,15 @@
 // size] can be changed to find the optimal size for the fabric which results
 // in the minimum delay." Because LEQA runs in milliseconds, a designer can
 // sweep fabric dimensions interactively instead of waiting for a full
-// mapping per size.
+// mapping per size. The whole study is one SweepGrid batch: the circuit is
+// analyzed once (fused QODG+IIG pass) and every fabric size estimates
+// against that shared analysis concurrently.
 //
 //	go run ./examples/fabricsizing
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,18 +30,39 @@ func main() {
 		c.Name, c.NumQubits(), c.NumGates())
 	fmt.Printf("%10s %14s %14s %12s\n", "fabric", "estimate(s)", "L_CNOT(µs)", "zone side")
 
-	bestSize, bestLatency := 0, 0.0
-	for _, size := range []int{8, 10, 12, 16, 20, 30, 40, 60, 90, 120} {
+	sizes := []int{8, 10, 12, 16, 20, 30, 40, 60, 90, 120}
+	fits := make([]bool, len(sizes))
+	var paramSets []leqa.Params
+	for i, size := range sizes {
+		grid := leqa.Grid{Width: size, Height: size}
+		if grid.Area() < c.NumQubits() {
+			continue
+		}
 		p := base.Clone()
-		p.Grid = leqa.Grid{Width: size, Height: size}
-		if p.Grid.Area() < c.NumQubits() {
+		p.Grid = grid
+		fits[i] = true
+		paramSets = append(paramSets, p)
+	}
+
+	// One batch over the cross product {circuit} × sizes.
+	cells, err := leqa.SweepGrid(context.Background(), []*leqa.Circuit{c}, paramSets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	next := 0
+	bestSize, bestLatency := 0, 0.0
+	for i, size := range sizes {
+		if !fits[i] {
 			fmt.Printf("%7dx%-2d %14s\n", size, size, "too small")
 			continue
 		}
-		res, err := leqa.Estimate(c, p)
-		if err != nil {
-			log.Fatal(err)
+		cell := cells[next]
+		next++
+		if cell.Err != nil {
+			log.Fatal(cell.Err)
 		}
+		res := cell.Result
 		fmt.Printf("%7dx%-2d %14.4f %14.1f %12d\n",
 			size, size, res.EstimatedLatency/1e6, res.LCNOTAvg, res.ZoneSide)
 		if bestSize == 0 || res.EstimatedLatency < bestLatency {

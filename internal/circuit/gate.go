@@ -185,6 +185,31 @@ func (g Gate) Arity() int { return len(g.Controls) + len(g.Targets) }
 // IsTwoQubit reports whether the gate touches exactly two qubits.
 func (g Gate) IsTwoQubit() bool { return g.Arity() == 2 }
 
+// QubitPair returns the two operands of an arity-2 gate (control first for
+// CNOT-shaped gates) without allocating — the hot-path accessor streaming
+// graph builders use. It panics if the gate does not touch exactly two
+// qubits.
+func (g Gate) QubitPair() (a, b int) {
+	switch {
+	case len(g.Controls) == 1 && len(g.Targets) == 1:
+		return g.Controls[0], g.Targets[0]
+	case len(g.Controls) == 0 && len(g.Targets) == 2:
+		return g.Targets[0], g.Targets[1]
+	case len(g.Controls) == 2 && len(g.Targets) == 0:
+		return g.Controls[0], g.Controls[1]
+	}
+	panic(fmt.Sprintf("circuit: QubitPair on %s with arity %d", g.Type, g.Arity()))
+}
+
+// operand returns the i-th operand qubit, controls first — the
+// allocation-free counterpart of Qubits()[i].
+func (g Gate) operand(i int) int {
+	if i < len(g.Controls) {
+		return g.Controls[i]
+	}
+	return g.Targets[i-len(g.Controls)]
+}
+
 // Validate checks the operand-shape constraints for the gate type and that
 // all operands are distinct and within [0, n).
 func (g Gate) Validate(n int) error {
@@ -218,15 +243,20 @@ func (g Gate) Validate(n int) error {
 	if len(g.Targets) != wantT {
 		return fmt.Errorf("gate %s: want %d targets, have %d", g.Type, wantT, len(g.Targets))
 	}
-	seen := make(map[int]bool, g.Arity())
-	for _, q := range g.Qubits() {
+	// Operand checks run index-based and quadratic in arity — arities are
+	// tiny, and avoiding the Qubits() copy plus a set keeps full-circuit
+	// validation allocation-free on the ~1M-op hot path.
+	ar := g.Arity()
+	for i := 0; i < ar; i++ {
+		q := g.operand(i)
 		if q < 0 || q >= n {
 			return fmt.Errorf("gate %s: qubit %d out of range [0,%d)", g.Type, q, n)
 		}
-		if seen[q] {
-			return fmt.Errorf("gate %s: duplicate operand qubit %d", g.Type, q)
+		for j := 0; j < i; j++ {
+			if g.operand(j) == q {
+				return fmt.Errorf("gate %s: duplicate operand qubit %d", g.Type, q)
+			}
 		}
-		seen[q] = true
 	}
 	return nil
 }

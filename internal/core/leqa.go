@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/fabric"
 	"repro/internal/iig"
@@ -98,16 +99,18 @@ func (e *Estimator) Estimate(c *circuit.Circuit) (*Result, error) {
 	if !c.IsFT() {
 		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
 	}
-	// Line 1: build the IIG (and the QODG used at line 19).
-	g, err := qodg.Build(c)
+	// Line 1: one fused pass builds the IIG and the QODG used at line 19.
+	a, err := analysis.Analyze(c)
 	if err != nil {
 		return nil, err
 	}
-	ig, err := iig.Build(c)
-	if err != nil {
-		return nil, err
-	}
-	return e.estimate(c, g, ig)
+	return e.estimate(c, a.QODG, a.IIG)
+}
+
+// EstimateAnalysis runs Algorithm 1 on a previously analyzed circuit — the
+// path batch sweeps use to amortize one Analyze across many parameter sets.
+func (e *Estimator) EstimateAnalysis(a *analysis.Analysis) (*Result, error) {
+	return e.EstimateGraphs(a.Circuit, a.QODG, a.IIG)
 }
 
 // EstimateGraphs is Estimate for callers that already built the graphs.

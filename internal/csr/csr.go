@@ -1,0 +1,21 @@
+// Package csr holds the one shared building block of the compressed-
+// sparse-row graph builders (qodg, iig, analysis): turning a degree count
+// array into row offsets plus the flat element array.
+package csr
+
+// Offsets converts a degree array (with one extra trailing slot) into CSR
+// row offsets and allocates the element array. On return deg[i] holds row
+// i's start offset — ready to serve as the fill cursor of the second pass —
+// and the returned offsets are the immutable copy.
+func Offsets[E any](deg []int32) ([]int32, []E) {
+	n := len(deg) - 1
+	off := make([]int32, n+1)
+	var total int32
+	for i := 0; i < n; i++ {
+		off[i] = total
+		total += deg[i]
+		deg[i] = off[i]
+	}
+	off[n] = total
+	return off, make([]E, total)
+}

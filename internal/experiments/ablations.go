@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -246,39 +247,47 @@ func AblationChannelCapacity(w io.Writer, name string, p fabric.Params) error {
 
 // FabricSizeSweep reruns LEQA over a range of fabric sizes — the use case
 // the paper calls out ("this value can be changed to find the optimal size
-// for the fabric"). Sizes evaluate concurrently; each distinct grid memoizes
-// one zone model, so rerunning the sweep on another circuit with the same
-// interaction profile is nearly free.
+// for the fabric"). The study runs as one SweepGrid batch: the circuit is
+// analyzed once and only the fabric-dependent zone model differs per size,
+// with each distinct grid memoized, so rerunning the sweep on another
+// circuit with the same interaction profile is nearly free.
 func FabricSizeSweep(w io.Writer, name string, p fabric.Params, sizes []int) error {
 	ft, err := benchgen.GenerateFT(name)
 	if err != nil {
 		return err
 	}
-	results := make([]*leqa.EstimateResult, len(sizes))
-	err = forEach(len(sizes), 0, func(i int) error {
+	// Fabrics that cannot hold the register render as "too small" rows and
+	// never enter the batch.
+	fits := make([]bool, len(sizes))
+	var paramSets []fabric.Params
+	for i, s := range sizes {
+		g := fabric.Grid{Width: s, Height: s}
+		if g.Area() < ft.NumQubits() {
+			continue
+		}
+		fits[i] = true
 		q := p.Clone()
-		q.Grid = fabric.Grid{Width: sizes[i], Height: sizes[i]}
-		if q.Grid.Area() < ft.NumQubits() {
-			return nil // rendered as "too small" below
-		}
-		res, err := leqa.Estimate(ft, q)
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
+		q.Grid = g
+		paramSets = append(paramSets, q)
+	}
+	cells, err := leqa.SweepGrid(context.Background(), []*leqa.Circuit{ft}, paramSets)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Fabric-size sweep on %s (LEQA estimate per size)\n", name)
 	fmt.Fprintf(w, "%8s %14s %12s\n", "fabric", "estimate(s)", "L_CNOT(µs)")
+	next := 0
 	for i, s := range sizes {
-		if results[i] == nil {
+		if !fits[i] {
 			fmt.Fprintf(w, "%5dx%-3d %14s %12s\n", s, s, "too small", "-")
 			continue
 		}
-		fmt.Fprintf(w, "%5dx%-3d %14.4f %12.1f\n", s, s, results[i].EstimatedLatency/1e6, results[i].LCNOTAvg)
+		cell := cells[next]
+		next++
+		if cell.Err != nil {
+			return cell.Err
+		}
+		fmt.Fprintf(w, "%5dx%-3d %14.4f %12.1f\n", s, s, cell.Result.EstimatedLatency/1e6, cell.Result.LCNOTAvg)
 	}
 	return nil
 }

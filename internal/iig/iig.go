@@ -6,21 +6,35 @@
 // From the IIG the package derives the quantities LEQA consumes: per-qubit
 // degree M_i, per-qubit adjacent weight sum ΣW_i, presence-zone areas
 // B_i = M_i + 1 (Eq. 6) and the fabric-wide weighted average B (Eq. 7).
+//
+// Adjacency is stored in compressed-sparse-row form: per qubit, a sorted
+// slice of distinct neighbors with a parallel weight slice. Construction
+// streams the gate list into a flat multigraph incidence array (counting
+// pass + fill pass, no per-qubit maps), then sorts each row and collapses
+// duplicate neighbors into weights in place.
 package iig
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/circuit"
+	"repro/internal/csr"
 )
 
-// Graph is the interaction intensity graph over Q logical qubits.
+// Graph is the interaction intensity graph over Q logical qubits. Immutable
+// after construction; build one with Build, a Builder, or FromIncidence.
 type Graph struct {
 	// Q is the number of logical qubits (nodes), including isolated ones.
 	Q int
-	// adj[i] maps neighbor j -> w(e_ij). Symmetric: adj[i][j] == adj[j][i].
-	adj []map[int]int
+
+	off []int32 // Q+1 row offsets into nbr/wt
+	nbr []int32 // distinct neighbors, ascending within each row
+	wt  []int32 // wt[k] = w(e) for the pair (row, nbr[k]); symmetric
+	// adjw[i] caches ΣW_i, the row sum of wt — every Eq. 7/12 weighting
+	// walks it, so it is precomputed once.
+	adjw []int32
 	// totalWeight is Σ_ij w(e_ij) over unordered pairs.
 	totalWeight int
 }
@@ -28,79 +42,169 @@ type Graph struct {
 // Build constructs the IIG from a circuit: every gate touching exactly two
 // qubits contributes weight 1 to the edge between them. Gates touching three
 // or more qubits should have been decomposed already; they are rejected so
-// that silent modeling errors cannot creep in.
+// that silent modeling errors cannot creep in. The circuit is validated
+// first — an out-of-range operand would otherwise land in the CSR cursor
+// slots and corrupt rows silently.
 func Build(c *circuit.Circuit) (*Graph, error) {
-	g := NewEmpty(c.NumQubits())
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	q := c.NumQubits()
+	deg := make([]int32, q+1)
 	for i, gate := range c.Gates {
 		switch gate.Arity() {
 		case 1:
 			// One-qubit operations add no IIG edges.
 		case 2:
-			qs := gate.Qubits()
-			g.AddInteraction(qs[0], qs[1])
+			a, b := gate.QubitPair()
+			if a == b {
+				continue // no self loops by construction
+			}
+			deg[a]++
+			deg[b]++
 		default:
 			return nil, fmt.Errorf("iig: gate %d (%s) touches %d qubits; decompose first",
 				i, gate.Type, gate.Arity())
 		}
 	}
-	return g, nil
-}
-
-// NewEmpty returns an IIG with q isolated qubits.
-func NewEmpty(q int) *Graph {
-	adj := make([]map[int]int, q)
-	for i := range adj {
-		adj[i] = make(map[int]int)
+	off, nbr := csr.Offsets[int32](deg)
+	for _, gate := range c.Gates {
+		if gate.Arity() != 2 {
+			continue
+		}
+		a, b := gate.QubitPair()
+		if a == b {
+			continue
+		}
+		nbr[deg[a]] = int32(b)
+		deg[a]++
+		nbr[deg[b]] = int32(a)
+		deg[b]++
 	}
-	return &Graph{Q: q, adj: adj}
+	return FromIncidence(q, off, nbr), nil
 }
 
-// AddInteraction records one two-qubit operation between a and b.
-func (g *Graph) AddInteraction(a, b int) {
-	if a == b {
+// FromIncidence assembles a Graph from multigraph CSR incidence data: off
+// holds q+1 row offsets into nbr, and each nbr entry is one unit-weight
+// interaction endpoint (each two-qubit op appears once in either endpoint's
+// row). Rows are sorted and duplicate neighbors collapsed into weights in
+// place. The analysis layer calls this after its fused counting/fill pass.
+func FromIncidence(q int, off []int32, nbr []int32) *Graph {
+	g := &Graph{
+		Q:           q,
+		adjw:        make([]int32, q),
+		totalWeight: len(nbr) / 2,
+	}
+	newOff := make([]int32, q+1)
+	wt := make([]int32, 0, len(nbr))
+	w := int32(0) // compaction write cursor into nbr
+	for i := 0; i < q; i++ {
+		newOff[i] = w
+		row := nbr[off[i]:off[i+1]]
+		slices.Sort(row)
+		g.adjw[i] = int32(len(row))
+		for k := 0; k < len(row); {
+			run := k + 1
+			for run < len(row) && row[run] == row[k] {
+				run++
+			}
+			nbr[w] = row[k]
+			wt = append(wt, int32(run-k))
+			w++
+			k = run
+		}
+	}
+	newOff[q] = w
+	g.off = newOff
+	// Duplicate collapse can shrink the row data by orders of magnitude
+	// (benchmark circuits repeat the same qubit pairs heavily), and graphs
+	// can outlive the build by a whole sweep — copy to tight arrays rather
+	// than pin the full incidence backing store.
+	if int(w) < len(nbr) {
+		g.nbr = slices.Clone(nbr[:w])
+		g.wt = slices.Clone(wt)
+	} else {
+		g.nbr = nbr
+		g.wt = wt
+	}
+	return g
+}
+
+// Builder accumulates interactions incrementally and finalizes them into an
+// immutable Graph — the construction path for callers that do not have a
+// circuit (tests, synthetic workloads).
+type Builder struct {
+	q     int
+	pairs []int32 // flat (a, b) pairs
+}
+
+// NewBuilder returns a builder over q qubits with no interactions yet.
+func NewBuilder(q int) *Builder { return &Builder{q: q} }
+
+// AddInteraction records one two-qubit operation between a and b. Self
+// loops are ignored. Out-of-range qubits panic immediately (they would
+// otherwise corrupt CSR rows at finalize time).
+func (b *Builder) AddInteraction(x, y int) {
+	if x < 0 || x >= b.q || y < 0 || y >= b.q {
+		panic(fmt.Sprintf("iig: interaction (%d,%d) out of range [0,%d)", x, y, b.q))
+	}
+	if x == y {
 		return // no self loops by construction
 	}
-	g.adj[a][b]++
-	g.adj[b][a]++
-	g.totalWeight++
+	b.pairs = append(b.pairs, int32(x), int32(y))
+}
+
+// Graph finalizes the builder into an immutable CSR graph. The builder
+// stays usable; each call builds an independent snapshot.
+func (b *Builder) Graph() *Graph {
+	deg := make([]int32, b.q+1)
+	for i := 0; i < len(b.pairs); i += 2 {
+		deg[b.pairs[i]]++
+		deg[b.pairs[i+1]]++
+	}
+	off, nbr := csr.Offsets[int32](deg)
+	for i := 0; i < len(b.pairs); i += 2 {
+		a, c := b.pairs[i], b.pairs[i+1]
+		nbr[deg[a]] = c
+		deg[a]++
+		nbr[deg[c]] = a
+		deg[c]++
+	}
+	return FromIncidence(b.q, off, nbr)
 }
 
 // Degree returns M_i = deg(n_i), the number of distinct interaction
 // partners of qubit i.
-func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+func (g *Graph) Degree(i int) int { return int(g.off[i+1] - g.off[i]) }
 
 // AdjWeightSum returns ΣW_i = Σ_{j ∈ adj(i)} w(e_ij).
-func (g *Graph) AdjWeightSum(i int) int {
-	s := 0
-	for _, w := range g.adj[i] {
-		s += w
-	}
-	return s
-}
+func (g *Graph) AdjWeightSum(i int) int { return int(g.adjw[i]) }
 
 // Weight returns w(e_ab), 0 if absent.
-func (g *Graph) Weight(a, b int) int { return g.adj[a][b] }
+func (g *Graph) Weight(a, b int) int {
+	row := g.nbr[g.off[a]:g.off[a+1]]
+	k, ok := slices.BinarySearch(row, int32(b))
+	if !ok {
+		return 0
+	}
+	return int(g.wt[int(g.off[a])+k])
+}
 
 // TotalWeight returns the total two-qubit operation count (Σ over unordered
 // pairs of w(e_ij)); equals the circuit's two-qubit gate count.
 func (g *Graph) TotalWeight() int { return g.totalWeight }
 
 // NumEdges returns the number of distinct interacting pairs.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for i := range g.adj {
-		n += len(g.adj[i])
-	}
-	return n / 2
-}
+func (g *Graph) NumEdges() int { return len(g.nbr) / 2 }
 
-// Neighbors returns qubit i's interaction partners in ascending order.
+// Neighbors returns qubit i's interaction partners in ascending order. The
+// result is freshly allocated; callers may reorder it.
 func (g *Graph) Neighbors(i int) []int {
-	out := make([]int, 0, len(g.adj[i]))
-	for j := range g.adj[i] {
-		out = append(out, j)
+	row := g.nbr[g.off[i]:g.off[i+1]]
+	out := make([]int, len(row))
+	for k, v := range row {
+		out[k] = int(v)
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -115,7 +219,7 @@ func (g *Graph) ZoneArea(i int) float64 { return float64(g.Degree(i) + 1) }
 func (g *Graph) AverageZoneArea() float64 {
 	num, den := 0.0, 0.0
 	for i := 0; i < g.Q; i++ {
-		w := float64(g.AdjWeightSum(i))
+		w := float64(g.adjw[i])
 		num += w * g.ZoneArea(i)
 		den += w
 	}
@@ -131,7 +235,7 @@ func (g *Graph) AverageZoneArea() float64 {
 func (g *Graph) WeightedAverage(f func(i int) float64) float64 {
 	num, den := 0.0, 0.0
 	for i := 0; i < g.Q; i++ {
-		w := float64(g.AdjWeightSum(i))
+		w := float64(g.adjw[i])
 		if w == 0 {
 			continue
 		}
@@ -148,7 +252,7 @@ func (g *Graph) WeightedAverage(f func(i int) float64) float64 {
 func (g *Graph) InteractingQubits() []int {
 	out := make([]int, 0, g.Q)
 	for i := 0; i < g.Q; i++ {
-		if len(g.adj[i]) > 0 {
+		if g.off[i+1] > g.off[i] {
 			out = append(out, i)
 		}
 	}
@@ -162,22 +266,17 @@ type Edge struct {
 }
 
 // Edges lists all edges sorted by (A, B); deterministic for reports and
-// placement seeds.
+// placement seeds. The CSR rows are already sorted, so this is one linear
+// walk keeping each pair's low-endpoint occurrence.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.NumEdges())
 	for a := 0; a < g.Q; a++ {
-		for b, w := range g.adj[a] {
-			if a < b {
-				out = append(out, Edge{A: a, B: b, Weight: w})
+		for k := g.off[a]; k < g.off[a+1]; k++ {
+			if b := int(g.nbr[k]); a < b {
+				out = append(out, Edge{A: a, B: b, Weight: int(g.wt[k])})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
 	return out
 }
 
@@ -195,7 +294,7 @@ func (g *Graph) BFSOrder() []int {
 		seeds[i] = i
 	}
 	sort.Slice(seeds, func(a, b int) bool {
-		wa, wb := g.AdjWeightSum(seeds[a]), g.AdjWeightSum(seeds[b])
+		wa, wb := g.adjw[seeds[a]], g.adjw[seeds[b]]
 		if wa != wb {
 			return wa > wb
 		}
@@ -213,8 +312,13 @@ func (g *Graph) BFSOrder() []int {
 			queue = queue[1:]
 			order = append(order, u)
 			nbrs := g.Neighbors(u)
+			row := int(g.off[u])
+			weightOf := func(v int) int32 {
+				k, _ := slices.BinarySearch(g.nbr[g.off[u]:g.off[u+1]], int32(v))
+				return g.wt[row+k]
+			}
 			sort.Slice(nbrs, func(a, b int) bool {
-				wa, wb := g.adj[u][nbrs[a]], g.adj[u][nbrs[b]]
+				wa, wb := weightOf(nbrs[a]), weightOf(nbrs[b])
 				if wa != wb {
 					return wa > wb
 				}
@@ -229,4 +333,55 @@ func (g *Graph) BFSOrder() []int {
 		}
 	}
 	return order
+}
+
+// BuildReference is the pre-CSR builder (per-qubit neighbor maps), retained
+// as the independent oracle for the equivalence suite and as the baseline
+// BenchmarkAnalyze measures the fused CSR pass against. Output converts to
+// the CSR representation so results compare directly with Build.
+func BuildReference(c *circuit.Circuit) (*Graph, error) {
+	adj := make([]map[int]int, c.NumQubits())
+	for i := range adj {
+		adj[i] = make(map[int]int)
+	}
+	total := 0
+	for i, gate := range c.Gates {
+		switch gate.Arity() {
+		case 1:
+		case 2:
+			a, b := gate.QubitPair()
+			if a == b {
+				continue
+			}
+			adj[a][b]++
+			adj[b][a]++
+			total++
+		default:
+			return nil, fmt.Errorf("iig: gate %d (%s) touches %d qubits; decompose first",
+				i, gate.Type, gate.Arity())
+		}
+	}
+	g := &Graph{
+		Q:           len(adj),
+		off:         make([]int32, len(adj)+1),
+		adjw:        make([]int32, len(adj)),
+		totalWeight: total,
+	}
+	for i, row := range adj {
+		g.off[i] = int32(len(g.nbr))
+		keys := make([]int, 0, len(row))
+		sum := 0
+		for k, w := range row {
+			keys = append(keys, k)
+			sum += w
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			g.nbr = append(g.nbr, int32(k))
+			g.wt = append(g.wt, int32(row[k]))
+		}
+		g.adjw[i] = int32(sum)
+	}
+	g.off[len(adj)] = int32(len(g.nbr))
+	return g, nil
 }

@@ -18,6 +18,15 @@ func buildFrom(t *testing.T, c *circuit.Circuit) *Graph {
 	return g
 }
 
+// graphOf finalizes a builder seeded with the given interaction pairs.
+func graphOf(q int, pairs ...[2]int) *Graph {
+	b := NewBuilder(q)
+	for _, p := range pairs {
+		b.AddInteraction(p[0], p[1])
+	}
+	return b.Graph()
+}
+
 func TestBuildBasic(t *testing.T) {
 	c := circuit.New("t", 3)
 	c.Append(
@@ -56,21 +65,39 @@ func TestBuildRejectsWideGates(t *testing.T) {
 	if _, err := Build(c); err == nil {
 		t.Error("want error for 3-qubit gate")
 	}
+	if _, err := BuildReference(c); err == nil {
+		t.Error("reference builder should also reject 3-qubit gates")
+	}
+}
+
+func TestBuildRejectsOutOfRangeQubit(t *testing.T) {
+	// Qubit index == Q would land in the CSR cursor slot and silently
+	// corrupt rows if unvalidated (the map-based code panicked here).
+	c := circuit.New("oob", 2)
+	c.Append(circuit.NewCNOT(0, 1), circuit.Gate{Type: circuit.CNOT, Controls: []int{0}, Targets: []int{2}})
+	if _, err := Build(c); err == nil {
+		t.Error("want validation error for out-of-range operand")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for out-of-range interaction")
+		}
+	}()
+	NewBuilder(2).AddInteraction(0, 2)
 }
 
 func TestNoSelfLoops(t *testing.T) {
-	g := NewEmpty(3)
-	g.AddInteraction(1, 1)
+	g := graphOf(3, [2]int{1, 1})
 	if g.Degree(1) != 0 || g.TotalWeight() != 0 {
 		t.Error("self loop recorded")
 	}
 }
 
 func TestAdjWeightSum(t *testing.T) {
-	g := NewEmpty(4)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(0, 2)
+	g := graphOf(4, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 2})
 	if got := g.AdjWeightSum(0); got != 3 {
 		t.Errorf("AdjWeightSum(0) = %d, want 3", got)
 	}
@@ -80,9 +107,7 @@ func TestAdjWeightSum(t *testing.T) {
 }
 
 func TestZoneAreaEq6(t *testing.T) {
-	g := NewEmpty(3)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(0, 2)
+	g := graphOf(3, [2]int{0, 1}, [2]int{0, 2})
 	// M_0 = 2 → B_0 = 3 (Eq. 6: √(M+1)·√(M+1)).
 	if got := g.ZoneArea(0); got != 3 {
 		t.Errorf("ZoneArea(0) = %v, want 3", got)
@@ -95,43 +120,35 @@ func TestZoneAreaEq6(t *testing.T) {
 func TestAverageZoneAreaEq7(t *testing.T) {
 	// Qubit 0: M=2, ΣW=3 (w01=2, w02=1); qubit 1: M=1, ΣW=2; qubit 2:
 	// M=1, ΣW=1. B = (3·3 + 2·2 + 1·2) / (3+2+1) = 15/6 = 2.5.
-	g := NewEmpty(3)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(0, 2)
+	g := graphOf(3, [2]int{0, 1}, [2]int{0, 1}, [2]int{0, 2})
 	if got := g.AverageZoneArea(); math.Abs(got-2.5) > 1e-12 {
 		t.Errorf("B = %v, want 2.5", got)
 	}
 }
 
 func TestAverageZoneAreaNoInteractions(t *testing.T) {
-	g := NewEmpty(5)
+	g := NewBuilder(5).Graph()
 	if got := g.AverageZoneArea(); got != 1 {
 		t.Errorf("B with no edges = %v, want 1", got)
 	}
 }
 
 func TestWeightedAverage(t *testing.T) {
-	g := NewEmpty(3)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(1, 2)
+	g := graphOf(3, [2]int{0, 1}, [2]int{1, 2})
 	// ΣW: q0=1, q1=2, q2=1. WeightedAverage(f=qubit index) =
 	// (0·1 + 1·2 + 2·1)/4 = 1.
 	got := g.WeightedAverage(func(i int) float64 { return float64(i) })
 	if math.Abs(got-1) > 1e-12 {
 		t.Errorf("WeightedAverage = %v, want 1", got)
 	}
-	empty := NewEmpty(2)
+	empty := NewBuilder(2).Graph()
 	if empty.WeightedAverage(func(int) float64 { return 5 }) != 0 {
 		t.Error("empty graph weighted average should be 0")
 	}
 }
 
 func TestNeighborsSorted(t *testing.T) {
-	g := NewEmpty(5)
-	g.AddInteraction(2, 4)
-	g.AddInteraction(2, 0)
-	g.AddInteraction(2, 3)
+	g := graphOf(5, [2]int{2, 4}, [2]int{2, 0}, [2]int{2, 3})
 	n := g.Neighbors(2)
 	if len(n) != 3 || n[0] != 0 || n[1] != 3 || n[2] != 4 {
 		t.Errorf("Neighbors = %v", n)
@@ -139,10 +156,7 @@ func TestNeighborsSorted(t *testing.T) {
 }
 
 func TestEdgesDeterministic(t *testing.T) {
-	g := NewEmpty(4)
-	g.AddInteraction(3, 1)
-	g.AddInteraction(0, 2)
-	g.AddInteraction(1, 3)
+	g := graphOf(4, [2]int{3, 1}, [2]int{0, 2}, [2]int{1, 3})
 	edges := g.Edges()
 	if len(edges) != 2 {
 		t.Fatalf("Edges len = %d", len(edges))
@@ -156,8 +170,7 @@ func TestEdgesDeterministic(t *testing.T) {
 }
 
 func TestInteractingQubits(t *testing.T) {
-	g := NewEmpty(5)
-	g.AddInteraction(1, 3)
+	g := graphOf(5, [2]int{1, 3})
 	got := g.InteractingQubits()
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Errorf("InteractingQubits = %v", got)
@@ -165,9 +178,7 @@ func TestInteractingQubits(t *testing.T) {
 }
 
 func TestBFSOrderCoversAll(t *testing.T) {
-	g := NewEmpty(6)
-	g.AddInteraction(0, 1)
-	g.AddInteraction(1, 2)
+	g := graphOf(6, [2]int{0, 1}, [2]int{1, 2})
 	// Qubits 3,4,5 isolated.
 	order := g.BFSOrder()
 	if len(order) != 6 {
@@ -183,10 +194,7 @@ func TestBFSOrderCoversAll(t *testing.T) {
 }
 
 func TestBFSOrderStartsAtHeaviest(t *testing.T) {
-	g := NewEmpty(4)
-	g.AddInteraction(2, 0)
-	g.AddInteraction(2, 1)
-	g.AddInteraction(2, 3)
+	g := graphOf(4, [2]int{2, 0}, [2]int{2, 1}, [2]int{2, 3})
 	order := g.BFSOrder()
 	if order[0] != 2 {
 		t.Errorf("BFS starts at %d, want 2 (heaviest)", order[0])
@@ -194,13 +202,40 @@ func TestBFSOrderStartsAtHeaviest(t *testing.T) {
 }
 
 func TestBFSOrderHeavyNeighborFirst(t *testing.T) {
-	g := NewEmpty(3)
-	g.AddInteraction(0, 1) // w=1
-	g.AddInteraction(0, 2)
-	g.AddInteraction(0, 2) // w=2
+	g := graphOf(3,
+		[2]int{0, 1}, // w=1
+		[2]int{0, 2},
+		[2]int{0, 2}, // w=2
+	)
 	order := g.BFSOrder()
 	if order[0] != 0 || order[1] != 2 || order[2] != 1 {
 		t.Errorf("order = %v, want [0 2 1]", order)
+	}
+}
+
+func TestBuildMatchesReference(t *testing.T) {
+	// The CSR builder and the map-based reference must agree on a circuit
+	// exercising duplicates, both operand orders, and isolated qubits.
+	c := circuit.New("eq", 6)
+	c.Append(
+		circuit.NewCNOT(0, 1), circuit.NewCNOT(1, 0), circuit.NewCNOT(4, 2),
+		circuit.NewCNOT(2, 4), circuit.NewCNOT(0, 5), circuit.NewOneQubit(circuit.H, 3),
+		circuit.NewSwap(1, 5),
+	)
+	got := buildFrom(t, c)
+	want, err := BuildReference(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Q != want.Q || got.TotalWeight() != want.TotalWeight() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape mismatch: Q %d/%d W %d/%d E %d/%d",
+			got.Q, want.Q, got.TotalWeight(), want.TotalWeight(), got.NumEdges(), want.NumEdges())
+	}
+	ge, we := got.Edges(), want.Edges()
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Errorf("edge %d: %+v != %+v", i, ge[i], we[i])
+		}
 	}
 }
 
@@ -208,12 +243,12 @@ func TestIIGInvariantsRandom(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(8)
-		g := NewEmpty(n)
+		b := NewBuilder(n)
 		pairs := rng.Intn(30)
 		for i := 0; i < pairs; i++ {
-			a, b := rng.Intn(n), rng.Intn(n)
-			g.AddInteraction(a, b)
+			b.AddInteraction(rng.Intn(n), rng.Intn(n))
 		}
+		g := b.Graph()
 		// Invariant: Σ_i ΣW_i = 2·TotalWeight (each op counted at both
 		// endpoints).
 		sum := 0
@@ -239,8 +274,8 @@ func TestIIGInvariantsRandom(t *testing.T) {
 				lo = math.Min(lo, g.ZoneArea(i))
 				hi = math.Max(hi, g.ZoneArea(i))
 			}
-			b := g.AverageZoneArea()
-			if b < lo-1e-9 || b > hi+1e-9 {
+			bb := g.AverageZoneArea()
+			if bb < lo-1e-9 || bb > hi+1e-9 {
 				return false
 			}
 		}

@@ -24,8 +24,8 @@ func (g *Graph) WriteDOT(w io.Writer, name string) error {
 			fmt.Fprintf(bw, "  n%d [label=\"%d\\n%s\"];\n", n.ID, n.GateIndex+1, n.Op.Type)
 		}
 	}
-	for u := range g.Succ {
-		for _, v := range g.Succ[u] {
+	for u := range g.Nodes {
+		for _, v := range g.Succ(NodeID(u)) {
 			fmt.Fprintf(bw, "  n%d -> n%d;\n", u, v)
 		}
 	}

@@ -51,7 +51,7 @@ func TestBuildDependencies(t *testing.T) {
 		t.Fatal(err)
 	}
 	hasEdge := func(u, v NodeID) bool {
-		for _, s := range g.Succ[u] {
+		for _, s := range g.Succ(u) {
 			if s == v {
 				return true
 			}
@@ -79,7 +79,7 @@ func TestParallelEdgeMerging(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	for _, s := range g.Succ[1] {
+	for _, s := range g.Succ(1) {
 		if s == 2 {
 			count++
 		}
@@ -103,7 +103,7 @@ func TestIsolatedQubitEdge(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := false
-	for _, s := range g.Succ[0] {
+	for _, s := range g.Succ(0) {
 		if s == g.End() {
 			found = true
 		}
@@ -206,8 +206,8 @@ func TestCheckAcyclic(t *testing.T) {
 	if err := g.CheckAcyclic(); err != nil {
 		t.Fatal(err)
 	}
-	// Sabotage.
-	g.Succ[5] = append(g.Succ[5], 2)
+	// Sabotage: rewrite node 5's (only) successor edge to point backward.
+	g.Succ(5)[0] = 2
 	if err := g.CheckAcyclic(); err == nil {
 		t.Error("want back-edge error")
 	}

@@ -33,7 +33,7 @@ func (g *Graph) ComputeSchedule(w Weights) (*Schedule, error) {
 	// Forward sweep: earliest finish.
 	for u := 0; u < n; u++ {
 		best := 0.0
-		for _, p := range g.Pred[u] {
+		for _, p := range g.Pred(NodeID(u)) {
 			if s.ASAP[p] > best {
 				best = s.ASAP[p]
 			}
@@ -47,7 +47,7 @@ func (g *Graph) ComputeSchedule(w Weights) (*Schedule, error) {
 	}
 	for u := n - 1; u >= 0; u-- {
 		limit := s.Makespan
-		for _, v := range g.Succ[u] {
+		for _, v := range g.Succ(NodeID(u)) {
 			if cand := s.ALAP[v] - w[v]; cand < limit {
 				limit = cand
 			}

@@ -125,7 +125,7 @@ func TestScheduleInvariants(t *testing.T) {
 			t.Fatalf("node %d ALAP beyond makespan", u)
 		}
 		// Precedence: a node finishes before its successors must start.
-		for _, v := range g.Succ[u] {
+		for _, v := range g.Succ(NodeID(u)) {
 			if s.ASAP[u] > s.ASAP[v]-w[v]+1e-9 {
 				t.Fatalf("ASAP precedence violated %d -> %d", u, v)
 			}

@@ -18,12 +18,32 @@ const DefaultCacheSize = 256
 // (single-flight), so N concurrent estimates on the same fabric run the
 // model exactly once.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used; values are *cacheEntry
-	items    map[Key]*list.Element
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	items     map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// CacheStats is a snapshot of a cache's cumulative counters — surfaced by
+// cmd/experiments -verbose, cmd/leqa sweep footers and (via
+// leqa.ZoneCacheStats) any future service health endpoint.
+type CacheStats struct {
+	// Hits and Misses count lookups; Misses equals the number of model
+	// computations started.
+	Hits, Misses uint64
+	// Evictions counts LRU victims dropped to stay within capacity.
+	Evictions uint64
+	// Entries is the resident model count; Capacity the LRU bound.
+	Entries, Capacity int
+}
+
+// String renders the counters on one line for reports.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d/%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.Capacity)
 }
 
 type cacheEntry struct {
@@ -68,6 +88,7 @@ func (c *Cache) Get(key Key) (*Model, error) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 	c.mu.Unlock()
 	// An entry evicted while still being computed stays valid for everyone
@@ -83,11 +104,17 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats reports cumulative lookup counts.
-func (c *Cache) Stats() (hits, misses uint64) {
+// Stats reports the cumulative lookup, eviction and occupancy counters.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
 }
 
 // Purge empties the cache and resets its statistics.
@@ -96,13 +123,10 @@ func (c *Cache) Purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // String renders a one-line diagnostic (for verbose reports).
 func (c *Cache) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return fmt.Sprintf("zonemodel.Cache{len=%d cap=%d hits=%d misses=%d}",
-		c.ll.Len(), c.capacity, c.hits, c.misses)
+	return "zonemodel.Cache{" + c.Stats().String() + "}"
 }

@@ -34,9 +34,12 @@ func TestCacheMemoizes(t *testing.T) {
 	if m1 != m2 {
 		t.Error("second lookup did not return the memoized model")
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
+	}
+	if st.Evictions != 0 || st.Entries != 1 {
+		t.Errorf("stats = %v, want 0 evictions / 1 entry", st)
 	}
 }
 
@@ -51,21 +54,24 @@ func TestCacheLRUEviction(t *testing.T) {
 	if got := c.Len(); got != 2 {
 		t.Fatalf("len = %d, want 2", got)
 	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
 	// k1 is the LRU victim; re-fetching it must be a miss.
-	_, before := c.Stats()
+	before := c.Stats().Misses
 	if _, err := c.Get(k1); err != nil {
 		t.Fatal(err)
 	}
-	if _, after := c.Stats(); after != before+1 {
+	if after := c.Stats().Misses; after != before+1 {
 		t.Errorf("evicted key did not recompute (misses %d -> %d)", before, after)
 	}
 	// k2 was second-oldest and has now been evicted by k1's reinsert; k3
 	// must still be resident.
-	hitsBefore, _ := c.Stats()
+	hitsBefore := c.Stats().Hits
 	if _, err := c.Get(k3); err != nil {
 		t.Fatal(err)
 	}
-	if hitsAfter, _ := c.Stats(); hitsAfter != hitsBefore+1 {
+	if hitsAfter := c.Stats().Hits; hitsAfter != hitsBefore+1 {
 		t.Error("most-recently-inserted key was evicted")
 	}
 }
@@ -83,9 +89,9 @@ func TestCacheTouchOnGet(t *testing.T) {
 	mustGet(k2)
 	mustGet(k1) // touch k1 so k2 becomes the LRU victim
 	mustGet(k3) // evicts k2
-	hitsBefore, _ := c.Stats()
+	hitsBefore := c.Stats().Hits
 	mustGet(k1)
-	if hitsAfter, _ := c.Stats(); hitsAfter != hitsBefore+1 {
+	if hitsAfter := c.Stats().Hits; hitsAfter != hitsBefore+1 {
 		t.Error("touched key was evicted instead of the LRU one")
 	}
 }
@@ -99,8 +105,8 @@ func TestCachePurge(t *testing.T) {
 	if c.Len() != 0 {
 		t.Errorf("len after purge = %d", c.Len())
 	}
-	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
-		t.Errorf("stats after purge = %d/%d", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Errorf("stats after purge = %v", st)
 	}
 }
 
@@ -146,12 +152,12 @@ func TestCacheConcurrent(t *testing.T) {
 			}
 		}
 	}
-	hits, misses := c.Stats()
-	if misses != uint64(len(keys)) {
-		t.Errorf("misses = %d, want one per key (%d)", misses, len(keys))
+	st := c.Stats()
+	if st.Misses != uint64(len(keys)) {
+		t.Errorf("misses = %d, want one per key (%d)", st.Misses, len(keys))
 	}
-	if want := uint64(goroutines*rounds*len(keys)) - misses; hits != want {
-		t.Errorf("hits = %d, want %d", hits, want)
+	if want := uint64(goroutines*rounds*len(keys)) - st.Misses; st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
 	}
 }
 

@@ -1,0 +1,120 @@
+package leqa
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ResultRecord is the flat, stable on-disk form of one sweep cell — the
+// schema the JSON and CSV emitters share, designed so repeated experiment
+// runs can be diffed against stored baselines. Latencies round-trip
+// bit-exactly (floats render with strconv 'g'/-1 precision in CSV and
+// encoding/json defaults in JSON).
+type ResultRecord struct {
+	Circuit      string  `json:"circuit"`
+	CircuitIndex int     `json:"circuitIndex"`
+	ParamsIndex  int     `json:"paramsIndex"`
+	GridWidth    int     `json:"gridWidth"`
+	GridHeight   int     `json:"gridHeight"`
+	ChannelCap   int     `json:"channelCapacity"`
+	QubitSpeed   float64 `json:"qubitSpeed"`
+	TMove        float64 `json:"tMove"`
+	// The result columns are always present — even at zero — so baseline
+	// diffs never see structural churn when a metric crosses zero; only
+	// Error is elided when the cell succeeded. All zero when Error is set.
+	Qubits             int     `json:"qubits"`
+	Operations         int     `json:"operations"`
+	EstimatedLatencyUs float64 `json:"estimatedLatencyUs"` // D (Eq. 1), µs
+	LCNOTAvgUs         float64 `json:"lcnotAvgUs"`
+	DUncongUs          float64 `json:"dUncongUs"`
+	AvgZoneArea        float64 `json:"avgZoneArea"`
+	ZoneSide           int     `json:"zoneSide"`
+	CriticalCNOTs      int     `json:"criticalCNOTs"`
+	CriticalOneQubit   int     `json:"criticalOneQubit"`
+	Error              string  `json:"error,omitempty"`
+}
+
+// Record flattens the cell into the emitter schema.
+func (c GridCell) Record() ResultRecord {
+	rec := ResultRecord{
+		Circuit:      c.Name,
+		CircuitIndex: c.CircuitIndex,
+		ParamsIndex:  c.ParamsIndex,
+		GridWidth:    c.Params.Grid.Width,
+		GridHeight:   c.Params.Grid.Height,
+		ChannelCap:   c.Params.ChannelCapacity,
+		QubitSpeed:   c.Params.QubitSpeed,
+		TMove:        c.Params.TMove,
+	}
+	if c.Err != nil {
+		rec.Error = c.Err.Error()
+		return rec
+	}
+	r := c.Result
+	rec.Qubits = r.Qubits
+	rec.Operations = r.Operations
+	rec.EstimatedLatencyUs = r.EstimatedLatency
+	rec.LCNOTAvgUs = r.LCNOTAvg
+	rec.DUncongUs = r.DUncong
+	rec.AvgZoneArea = r.AvgZoneArea
+	rec.ZoneSide = r.ZoneSide
+	rec.CriticalCNOTs = r.CriticalCNOTs
+	rec.CriticalOneQubit = r.CriticalOneQubit
+	return rec
+}
+
+// WriteResultsJSON renders sweep cells as an indented JSON array in input
+// order — one record per (circuit, parameter-set) cell.
+func WriteResultsJSON(w io.Writer, cells []GridCell) error {
+	recs := make([]ResultRecord, len(cells))
+	for i, c := range cells {
+		recs[i] = c.Record()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// csvHeader lists the CSV columns in emission order.
+var csvHeader = []string{
+	"circuit", "circuit_index", "params_index",
+	"grid_width", "grid_height", "channel_capacity", "qubit_speed", "t_move",
+	"qubits", "operations",
+	"estimated_latency_us", "lcnot_avg_us", "d_uncong_us",
+	"avg_zone_area", "zone_side", "critical_cnots", "critical_one_qubit",
+	"error",
+}
+
+// WriteResultsCSV renders sweep cells as CSV with a header row, in input
+// order. Floats use the shortest exact representation so stored baselines
+// diff cleanly.
+func WriteResultsCSV(w io.Writer, cells []GridCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	for _, c := range cells {
+		rec := c.Record()
+		row := []string{
+			rec.Circuit, d(rec.CircuitIndex), d(rec.ParamsIndex),
+			d(rec.GridWidth), d(rec.GridHeight), d(rec.ChannelCap), f(rec.QubitSpeed), f(rec.TMove),
+			d(rec.Qubits), d(rec.Operations),
+			f(rec.EstimatedLatencyUs), f(rec.LCNOTAvgUs), f(rec.DUncongUs),
+			f(rec.AvgZoneArea), d(rec.ZoneSide), d(rec.CriticalCNOTs), d(rec.CriticalOneQubit),
+			rec.Error,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("leqa: writing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package leqa
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// GridCell is one (circuit, parameter-set) estimate inside a cross-product
+// sweep. Cells keep input order: the cell for circuit i under parameter set
+// j is always at index i·len(paramSets)+j, whichever worker ran it.
+type GridCell struct {
+	// CircuitIndex and ParamsIndex locate the cell in the cross product.
+	CircuitIndex int
+	ParamsIndex  int
+	// Name echoes the circuit name.
+	Name string
+	// Params echoes the parameter set the cell was estimated under.
+	Params Params
+	// Result is the estimate; nil when Err is set.
+	Result *EstimateResult
+	// Err is the per-cell failure (non-FT circuit, analysis failure,
+	// cancellation), leaving the rest of the grid intact.
+	Err error
+}
+
+// SweepGrid estimates the full circuits × paramSets cross product. Each
+// circuit is analyzed exactly once — the fused QODG+IIG build is
+// fabric-independent — and the resulting Analysis is shared by every
+// parameter set; the per-cell work that remains is Algorithm 1 itself,
+// which the zonemodel LRU further collapses across cells sharing a fabric
+// configuration. Cells come back in input order (circuit-major). The error
+// is non-nil when ctx was cancelled or a parameter set fails validation;
+// per-circuit and per-cell failures land in GridCell.Err.
+func (r *Runner) SweepGrid(ctx context.Context, circuits []*Circuit, paramSets []Params) ([]GridCell, error) {
+	ests := make([]*core.Estimator, len(paramSets))
+	for j, p := range paramSets {
+		est, err := core.New(p, r.opt)
+		if err != nil {
+			return nil, fmt.Errorf("leqa: parameter set %d: %w", j, err)
+		}
+		ests[j] = est
+	}
+
+	// Phase 1: analyze every circuit once, fanned across the pool.
+	analyses := make([]*analysis.Analysis, len(circuits))
+	analysisErrs := make([]error, len(circuits))
+	pool.ForEach(len(circuits), r.workers, false, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			analysisErrs[i] = err
+			return nil
+		}
+		c := circuits[i]
+		if !c.IsFT() {
+			analysisErrs[i] = fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+			return nil
+		}
+		analyses[i], analysisErrs[i] = analysis.Analyze(c)
+		return nil
+	})
+
+	// Phase 2: fan the cross product. Every slot is dispatched even after
+	// cancellation — cancelled cells carry the context error — so the
+	// output always accounts for every (circuit, params) pair.
+	m := len(paramSets)
+	cells := make([]GridCell, len(circuits)*m)
+	pool.ForEach(len(cells), r.workers, false, func(k int) error {
+		i, j := k/m, k%m
+		cell := GridCell{
+			CircuitIndex: i,
+			ParamsIndex:  j,
+			Name:         circuits[i].Name,
+			Params:       paramSets[j],
+		}
+		switch {
+		case analysisErrs[i] != nil:
+			cell.Err = analysisErrs[i]
+		case ctx.Err() != nil:
+			cell.Err = ctx.Err()
+		default:
+			cell.Result, cell.Err = ests[j].EstimateAnalysis(analyses[i])
+		}
+		cells[k] = cell
+		return nil
+	})
+	return cells, ctx.Err()
+}
+
+// SweepGrid estimates the circuits × paramSets cross product with default
+// options and a GOMAXPROCS-sized pool — the batch counterpart of calling
+// Estimate once per pair, with each circuit analyzed exactly once.
+func SweepGrid(ctx context.Context, circuits []*Circuit, paramSets []Params) ([]GridCell, error) {
+	r, err := NewRunner(DefaultParams(), EstimateOptions{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return r.SweepGrid(ctx, circuits, paramSets)
+}
+
+// GridCells adapts single-parameter sweep results into grid cells (one
+// parameter column), so the JSON/CSV emitters cover both sweep shapes.
+func GridCells(results []SweepResult, p Params) []GridCell {
+	cells := make([]GridCell, len(results))
+	for i, sr := range results {
+		cells[i] = GridCell{
+			CircuitIndex: sr.Index,
+			Name:         sr.Name,
+			Params:       p,
+			Result:       sr.Result,
+			Err:          sr.Err,
+		}
+	}
+	return cells
+}

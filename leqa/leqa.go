@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/benchgen"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/qodg"
 	"repro/internal/qspr"
 	"repro/internal/stats"
+	"repro/internal/zonemodel"
 )
 
 // Re-exported core types. Aliases keep the public surface thin while the
@@ -58,6 +60,11 @@ type (
 	QODG = qodg.Graph
 	// IIG is the interaction intensity graph.
 	IIG = iig.Graph
+	// Analysis bundles a circuit's QODG and IIG, built by one fused pass;
+	// reusable across every parameter set the circuit is estimated under.
+	Analysis = analysis.Analysis
+	// ZoneCacheStats is a snapshot of the shared zone-model memo counters.
+	ZoneCacheStats = zonemodel.CacheStats
 )
 
 // The detailed mapper's placement strategies, re-exported for MapOptions.
@@ -108,6 +115,25 @@ func BuildQODG(c *Circuit) (*QODG, error) { return qodg.Build(c) }
 
 // BuildIIG constructs the interaction intensity graph of an FT circuit.
 func BuildIIG(c *Circuit) (*IIG, error) { return iig.Build(c) }
+
+// Analyze builds both graphs in one fused streaming pass over the gate
+// list — the front end Estimate and the sweep engines run, exposed for
+// callers that want to amortize one analysis across many estimates.
+func Analyze(c *Circuit) (*Analysis, error) { return analysis.Analyze(c) }
+
+// EstimateAnalysis runs LEQA on a previously analyzed circuit.
+func EstimateAnalysis(a *Analysis, p Params, opt EstimateOptions) (*EstimateResult, error) {
+	est, err := core.New(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return est.EstimateAnalysis(a)
+}
+
+// ZoneModelCacheStats reports the shared zone-model memo's cumulative
+// hit/miss/eviction counters — the cache every estimate in the process
+// funnels through.
+func ZoneModelCacheStats() ZoneCacheStats { return zonemodel.Shared.Stats() }
 
 // Estimate runs LEQA (Algorithm 1) with default options.
 func Estimate(c *Circuit, p Params) (*EstimateResult, error) {

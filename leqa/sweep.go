@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/analysis"
 	"repro/internal/benchgen"
 	"repro/internal/core"
-	"repro/internal/iig"
 	"repro/internal/pool"
-	"repro/internal/qodg"
 )
 
 // SweepResult is one circuit's outcome inside a batch run. Results keep the
@@ -27,11 +26,13 @@ type SweepResult struct {
 }
 
 // Runner is the concurrent batch-estimation engine: a fixed worker pool
-// that builds each circuit's QODG and IIG and runs LEQA on them, sharing
-// the estimator (and through it the memoized zone model) across workers.
-// Safe for concurrent use; construct once and reuse across sweeps.
+// that analyzes each circuit (fused QODG+IIG build) and runs LEQA on the
+// result, sharing the estimator (and through it the memoized zone model)
+// across workers. Safe for concurrent use; construct once and reuse across
+// sweeps.
 type Runner struct {
 	est     *core.Estimator
+	opt     EstimateOptions
 	workers int
 }
 
@@ -45,7 +46,7 @@ func NewRunner(p Params, opt EstimateOptions, workers int) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{est: est, workers: workers}, nil
+	return &Runner{est: est, opt: opt, workers: workers}, nil
 }
 
 // Workers reports the pool size.
@@ -81,20 +82,17 @@ func (r *Runner) RunNamed(ctx context.Context, names []string) ([]SweepResult, e
 	}, func(i int) string { return names[i] })
 }
 
-// estimateOne builds the graphs and runs the estimator for one circuit.
+// estimateOne analyzes the circuit (one fused graph pass) and runs the
+// estimator on the result.
 func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
 	if !c.IsFT() {
 		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
 	}
-	g, err := qodg.Build(c)
+	a, err := analysis.Analyze(c)
 	if err != nil {
 		return nil, err
 	}
-	ig, err := iig.Build(c)
-	if err != nil {
-		return nil, err
-	}
-	return r.est.EstimateGraphs(c, g, ig)
+	return r.est.EstimateAnalysis(a)
 }
 
 // run fans the per-item work across the shared pool primitive. Every slot
