@@ -25,6 +25,7 @@
 //	-no-congestion    disable the M/M/1 congestion model
 //	-decompose        lower non-FT gates before estimating
 //	-workers          sweep worker-pool size (default GOMAXPROCS)
+//	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
 //	-verbose          print model intermediates and cache statistics
 package main
@@ -60,19 +61,11 @@ func (g *gridList) String() string {
 }
 
 func (g *gridList) Set(s string) error {
-	w, h, ok := strings.Cut(s, "x")
-	if !ok {
-		return fmt.Errorf("grid %q must look like 60x60", s)
-	}
-	width, err := strconv.Atoi(w)
+	grid, err := leqa.ParseGrid(s)
 	if err != nil {
-		return fmt.Errorf("grid width %q: %v", w, err)
+		return err
 	}
-	height, err := strconv.Atoi(h)
-	if err != nil {
-		return fmt.Errorf("grid height %q: %v", h, err)
-	}
-	*g = append(*g, leqa.Grid{Width: width, Height: height})
+	*g = append(*g, grid)
 	return nil
 }
 
@@ -117,6 +110,7 @@ func run() error {
 		noCongestion = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
 		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
 		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
 		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
 		verbose      = flag.Bool("verbose", false, "print model intermediates and cache statistics")
@@ -133,6 +127,14 @@ func run() error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		// The same cancellation path the leqad service uses: the deadline
+		// propagates into SweepGrid, hung cells carry the context error
+		// and the run exits non-zero instead of wedging.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	circuits := make([]*leqa.Circuit, 0, flag.NArg())
 	for _, arg := range flag.Args() {

@@ -1,0 +1,149 @@
+// Command leqad serves LEQA latency estimation over HTTP — the paper's
+// ~10^5× speedup over detailed mapping makes estimation cheap enough to run
+// as an interactive network service rather than a batch CLI.
+//
+// Usage:
+//
+//	leqad [flags]
+//
+// Endpoints (see internal/server and leqa/client for the wire schema):
+//
+//	POST /v1/estimate    one circuit: JSON spec ({"generate": "shor-32"}) or raw .qc body
+//	POST /v1/sweep       many circuits, one parameter set; streams rows
+//	POST /v1/grid        circuits × paramSets; streams rows (NDJSON, or SSE
+//	                     when the request accepts text/event-stream)
+//	GET  /v1/benchmarks  generator catalog
+//	GET  /healthz        build info + zone-model cache statistics
+//
+// Every request funnels through one shared leqa.Runner, so all estimates
+// reuse the process-wide memoized zone model. On SIGINT/SIGTERM the server
+// stops accepting work, drains in-flight streams for -drain, then cancels
+// whatever is left.
+//
+// Flags:
+//
+//	-addr            listen address (default :8347)
+//	-workers         estimation worker-pool size (0 = GOMAXPROCS)
+//	-grid WxH        base fabric geometry (or -width/-height separately)
+//	-nc/-v/-tmove    base physical parameters requests overlay
+//	-truncation      E[S_q] term limit (0 = paper's 20, -1 = exact)
+//	-no-congestion   disable the M/M/1 congestion model
+//	-max-body        request body cap in bytes
+//	-max-gates       per-circuit operation cap (post-decomposition)
+//	-max-cells       circuits × paramSets cap per batch
+//	-max-concurrent  simultaneous estimation requests before 429
+//	-drain           graceful-shutdown drain window
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/leqa"
+)
+
+// version is the build identifier /healthz reports; override with
+// -ldflags "-X main.version=...".
+var version = "dev"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leqad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr          = flag.String("addr", ":8347", "listen address")
+		workers       = flag.Int("workers", 0, "estimation worker-pool size (0 = GOMAXPROCS)")
+		gridSpec      = flag.String("grid", "", "base fabric WxH, e.g. 60x60 (overrides -width/-height)")
+		width         = flag.Int("width", 60, "base fabric width (ULB columns)")
+		height        = flag.Int("height", 60, "base fabric height (ULB rows)")
+		nc            = flag.Int("nc", 5, "base routing channel capacity Nc")
+		speed         = flag.Float64("v", 0.001, "base qubit speed 𝓋 (ULB sides per µs)")
+		tmove         = flag.Float64("tmove", 100, "base per-hop move time T_move (µs)")
+		truncation    = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
+		noCongestion  = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
+		maxBody       = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes")
+		maxGates      = flag.Int("max-gates", server.DefaultMaxGates, "per-circuit operation cap")
+		maxCells      = flag.Int("max-cells", server.DefaultMaxCells, "circuits × paramSets cap per batch")
+		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous estimation requests")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	params := leqa.DefaultParams()
+	params.Grid = leqa.Grid{Width: *width, Height: *height}
+	if *gridSpec != "" {
+		g, err := leqa.ParseGrid(*gridSpec)
+		if err != nil {
+			return err
+		}
+		params.Grid = g
+	}
+	params.ChannelCapacity = *nc
+	params.QubitSpeed = *speed
+	params.TMove = *tmove
+
+	logger := log.New(os.Stderr, "leqad: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Params:        params,
+		Options:       leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion},
+		Workers:       *workers,
+		MaxBodyBytes:  *maxBody,
+		MaxGates:      *maxGates,
+		MaxCells:      *maxCells,
+		MaxConcurrent: *maxConcurrent,
+		Version:       version,
+		Log:           logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("version %s serving on %s (%d workers)", version, *addr, srv.Workers())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// Drain window expired: cancel in-flight batches and cut the
+		// remaining connections.
+		logger.Printf("drain incomplete (%v); aborting in-flight batches", err)
+		srv.Abort()
+		return httpSrv.Close()
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

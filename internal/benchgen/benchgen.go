@@ -23,6 +23,7 @@ package benchgen
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
@@ -95,11 +96,19 @@ var (
 	hamRe   = regexp.MustCompile(`^ham(\d+)$`)
 	adderRe = regexp.MustCompile(`^(\d+)bitadder$`)
 	modRe   = regexp.MustCompile(`^mod(\d+)adder$`)
+	shorRe  = regexp.MustCompile(`^shor-(\d+)(?:x(\d+))?$`)
 )
+
+// Families lists the recognized generator spec shapes, for catalogs (the
+// leqad /v1/benchmarks endpoint, CLI usage strings).
+var Families = []string{
+	"gf2^<n>mult", "hwb<n>ps", "ham<n>", "<n>bitadder", "mod<2^n>adder", "shor-<n>[x<rounds>]",
+}
 
 // Generate builds the named benchmark as a raw reversible netlist.
 // Recognized name shapes: gf2^<n>mult, hwb<n>ps, ham<n>, <n>bitadder,
-// mod<2^n>adder.
+// mod<2^n>adder, shor-<n>[x<rounds>] (§4.2 modular-exponentiation
+// workload, default one round).
 func Generate(name string) (*circuit.Circuit, error) {
 	if m := gf2Re.FindStringSubmatch(name); m != nil {
 		n, _ := strconv.Atoi(m[1])
@@ -131,7 +140,71 @@ func Generate(name string) (*circuit.Circuit, error) {
 		}
 		return ModAdder(bits)
 	}
+	if m := shorRe.FindStringSubmatch(name); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		rounds := 1
+		if m[2] != "" {
+			rounds, _ = strconv.Atoi(m[2])
+		}
+		return ShorModExp(n, rounds)
+	}
 	return nil, fmt.Errorf("benchgen: unknown benchmark %q", name)
+}
+
+// PredictFTOps returns a cheap, conservative upper bound on the named
+// benchmark's post-decomposition operation count, without synthesizing
+// anything — admission control for services: a generator spec whose bound
+// exceeds the caller's budget can be rejected before generation allocates
+// gates (a spec like shor-2000000 would otherwise OOM the process long
+// before any post-hoc gate cap sees it). The bound deliberately
+// over-estimates (up to ~10× for the log-linear families); it saturates at
+// math.MaxInt, including when the spec's parameter does not fit an int. ok
+// is false for unrecognized names.
+func PredictFTOps(name string) (bound int, ok bool) {
+	sat := func(f float64) int {
+		if f >= math.MaxInt/2 {
+			return math.MaxInt
+		}
+		return int(f)
+	}
+	num := func(s string) float64 {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return math.MaxInt // absurd parameter: saturate, caller rejects
+		}
+		return float64(n)
+	}
+	log2 := func(f float64) float64 { return math.Log2(f + 2) }
+	switch {
+	case gf2Re.MatchString(name):
+		f := num(gf2Re.FindStringSubmatch(name)[1])
+		return sat(15*f*f + 3*f + 16), true // exact 15n²+3(n−1), padded
+	case hwbRe.MatchString(name):
+		f := num(hwbRe.FindStringSubmatch(name)[1])
+		return sat(600*f*log2(f) + 1000), true
+	case hamRe.MatchString(name):
+		f := num(hamRe.FindStringSubmatch(name)[1])
+		return sat(600*f*log2(f) + 1000), true
+	case adderRe.MatchString(name):
+		f := num(adderRe.FindStringSubmatch(name)[1])
+		return sat(400*f + 100), true
+	case modRe.MatchString(name):
+		// The modulus must be a power of two ≤ 2⁶³, so bits ≤ 63; the
+		// ripple structure is O(bits²).
+		f := math.Min(num(modRe.FindStringSubmatch(name)[1]), 1<<40)
+		bits := log2(f)
+		return sat(800*bits*bits + 100), true
+	case shorRe.MatchString(name):
+		m := shorRe.FindStringSubmatch(name)
+		n, r := num(m[1]), 1.0
+		if m[2] != "" {
+			r = num(m[2])
+		}
+		// Each of the ≤ r·n blocks emits ≤ 2n+2 Toffolis (×15) + n+1
+		// CNOTs; see ShorModExpOpCount for the exact form.
+		return sat(r*n*(31*n+32) + 100), true
+	}
+	return 0, false
 }
 
 // GenerateFT builds the named benchmark and lowers it to the FT gate set

@@ -442,3 +442,37 @@ func TestModAdderNameParsing(t *testing.T) {
 		t.Error("non-power-of-two modulus should fail")
 	}
 }
+
+func TestPredictFTOpsBoundsActual(t *testing.T) {
+	// The predictor is admission control: it must never under-estimate, or
+	// an oversized spec could slip past a service's gate cap and be
+	// synthesized anyway.
+	names := []string{
+		"8bitadder", "gf2^16mult", "hwb15ps", "hwb16ps", "ham15",
+		"mod1048576adder", "shor-8", "shor-8x2",
+	}
+	for _, name := range names {
+		bound, ok := PredictFTOps(name)
+		if !ok {
+			t.Fatalf("PredictFTOps(%q) does not recognize a valid spec", name)
+		}
+		c, err := GenerateFT(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound < c.NumGates() {
+			t.Errorf("PredictFTOps(%q) = %d under-estimates the actual %d ops",
+				name, bound, c.NumGates())
+		}
+	}
+	if _, ok := PredictFTOps("no-such-benchmark"); ok {
+		t.Error("unknown names must report ok=false")
+	}
+	// Absurd parameters saturate instead of overflowing.
+	if bound, ok := PredictFTOps("gf2^99999999999999999999mult"); !ok || bound < 1<<60 {
+		t.Errorf("huge spec bound = %d, %v; want saturation", bound, ok)
+	}
+	if bound, ok := PredictFTOps("shor-2000000"); !ok || bound < 2_000_000 {
+		t.Errorf("shor-2000000 bound = %d, %v; want a huge bound without synthesis", bound, ok)
+	}
+}

@@ -88,3 +88,36 @@ func TestShorModExpRejectsBadArgs(t *testing.T) {
 		t.Error("rounds=0 should fail")
 	}
 }
+
+func TestShorGeneratorSpec(t *testing.T) {
+	// shor-<n>[x<rounds>] routes through Generate/GenerateFT like the
+	// Table 3 families, so network requests can name it directly.
+	c, err := Generate("shor-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ShorModExp(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != want.NumGates() || c.NumQubits() != want.NumQubits() {
+		t.Fatalf("shor-8 = %d gates/%d qubits, want %d/%d",
+			c.NumGates(), c.NumQubits(), want.NumGates(), want.NumQubits())
+	}
+	ft, err := GenerateFT("shor-8x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Name != "shor-8x2" {
+		t.Errorf("FT name = %q, want the spec echoed", ft.Name)
+	}
+	if !ft.IsFT() {
+		t.Error("GenerateFT output contains non-FT gates")
+	}
+	if got, want := ft.NumGates(), ShorModExpOpCount(8, 2); got != want {
+		t.Errorf("shor-8x2 FT ops = %d, want closed-form %d", got, want)
+	}
+	if _, err := Generate("shor-1"); err == nil {
+		t.Error("shor-1 must be rejected (needs n ≥ 2)")
+	}
+}

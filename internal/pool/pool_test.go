@@ -89,3 +89,95 @@ func TestForEachDefaultWorkers(t *testing.T) {
 		t.Errorf("ran %d of 10", ran.Load())
 	}
 }
+
+func TestForEachOrderedEmitsInOrder(t *testing.T) {
+	const n = 200
+	var got []int
+	err := ForEachOrdered(n, 8, func(i int) int { return i }, func(v int) error {
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d emitted %d; emission must be in index order", i, v)
+		}
+	}
+}
+
+// TestForEachOrderedStreamsBeforeCompletion pins the streaming contract
+// deterministically: index 0 must reach emit while later indices are still
+// blocked inside fn — no waiting for the whole batch.
+func TestForEachOrderedStreamsBeforeCompletion(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan int, 1)
+	done := make(chan error, 1)
+	go func() {
+		var seen []int
+		err := ForEachOrdered(3, 2, func(i int) int {
+			if i > 0 {
+				<-release // 1 and 2 cannot finish until the test saw row 0
+			}
+			return i
+		}, func(v int) error {
+			if len(seen) == 0 {
+				first <- v
+			}
+			seen = append(seen, v)
+			return nil
+		})
+		if err == nil && len(seen) != 3 {
+			err = errors.New("short emission")
+		}
+		done <- err
+	}()
+	if v := <-first; v != 0 {
+		t.Fatalf("first emitted value = %d, want 0", v)
+	}
+	close(release) // row 0 was streamed while 1 and 2 were provably unfinished
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOrderedEmitErrorStopsFeed(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEachOrdered(1000, 1, func(i int) int {
+		ran.Add(1)
+		return i
+	}, func(v int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("all %d indices ran despite the emit failure", got)
+	}
+}
+
+func TestForEachOrderedZeroItems(t *testing.T) {
+	err := ForEachOrdered(0, 4, func(i int) int { return i }, func(int) error {
+		return errors.New("never")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOrderedDefaultWorkers(t *testing.T) {
+	var emitted int
+	if err := ForEachOrdered(10, 0, func(i int) int { return i }, func(int) error {
+		emitted++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 10 {
+		t.Errorf("emitted %d of 10", emitted)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/leqa"
+)
+
+// rowEncoder abstracts the two streaming reply formats. row must flush each
+// record to the wire so clients see results before the batch completes;
+// done/fail terminate the stream (only SSE has framing for either).
+type rowEncoder interface {
+	row(rec leqa.ResultRecord) error
+	done(rows int)
+	fail(err error)
+}
+
+// newRowEncoder picks the stream format from the Accept header — SSE when
+// the client asks for text/event-stream, NDJSON otherwise — and writes the
+// response header.
+func newRowEncoder(w http.ResponseWriter, r *http.Request) rowEncoder {
+	flusher, _ := w.(http.Flusher)
+	h := w.Header()
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		h.Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		return &sseEncoder{w: w, flusher: flusher}
+	}
+	h.Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	return &ndjsonEncoder{w: w, flusher: flusher}
+}
+
+// ndjsonEncoder streams one compact JSON record per line. The stream has no
+// trailer: every line parses as a leqa.ResultRecord and EOF is completion.
+type ndjsonEncoder struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+func (e *ndjsonEncoder) row(rec leqa.ResultRecord) error {
+	if err := json.NewEncoder(e.w).Encode(rec); err != nil {
+		return err
+	}
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+	return nil
+}
+
+func (e *ndjsonEncoder) done(int) {}
+
+// fail aborts the connection without the terminating chunk. NDJSON has no
+// in-band failure framing, so a clean EOF must remain the exclusive signal
+// of a complete batch: panicking with ErrAbortHandler makes net/http cut
+// the response short and truncation surfaces client-side as a transport
+// error instead of a silently shortened row list.
+func (e *ndjsonEncoder) fail(error) { panic(http.ErrAbortHandler) }
+
+// sseEncoder streams server-sent events: each row is a data frame with the
+// row index as event id, and the stream ends with an explicit done or error
+// event so EventSource clients can tell truncation from completion.
+type sseEncoder struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	rows    int
+}
+
+func (e *sseEncoder) row(rec leqa.ResultRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(e.w, "id: %d\ndata: %s\n\n", e.rows, payload); err != nil {
+		return err
+	}
+	e.rows++
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+	return nil
+}
+
+func (e *sseEncoder) done(rows int) {
+	fmt.Fprintf(e.w, "event: done\ndata: {\"rows\":%d}\n\n", rows)
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+func (e *sseEncoder) fail(err error) {
+	payload, _ := json.Marshal(err.Error())
+	fmt.Fprintf(e.w, "event: error\ndata: {\"error\":%s}\n\n", payload)
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}

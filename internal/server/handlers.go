@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/benchgen"
+	"repro/internal/pool"
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+// handleEstimate runs one circuit — JSON spec body or raw .qc upload — and
+// replies with its flat result record.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req client.EstimateRequest
+	var err error
+	if isJSONRequest(r) {
+		err = s.decodeJSON(w, r, &req)
+	} else {
+		req, err = s.estimateRequestFromQC(w, r)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p, err := s.paramsFromSpec(req.Params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	runner, err := s.runnerFor(req.Options)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	c, err := s.resolveCircuit(req.CircuitSpec, wantDecompose(req.Options))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// One 1×1 grid cell: the same engine, memo and record schema as the
+	// batch endpoints.
+	cells, err := runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
+	if len(cells) == 0 {
+		writeError(w, err)
+		return
+	}
+	if cells[0].Err != nil {
+		writeError(w, cells[0].Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cells[0].Record())
+}
+
+// handleSweep streams one row per circuit under a single parameter set.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req client.SweepRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	p, err := s.paramsFromSpec(req.Params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.streamBatch(w, r, req.Circuits, []leqa.Params{p}, req.Options)
+}
+
+// handleGrid streams the circuits × paramSets cross product.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req client.GridRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sets, err := s.paramSetsFromSpecs(req.ParamSets)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.streamBatch(w, r, req.Circuits, sets, req.Options)
+}
+
+// streamBatch is the shared sweep/grid path: resolve the circuit specs,
+// stream engine cells in input order as they complete, and interleave error
+// rows for specs that never became circuits — a bad row never aborts the
+// batch.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, specs []client.CircuitSpec, paramSets []leqa.Params, opts *client.OptionsSpec) {
+	if len(specs) == 0 {
+		writeError(w, badRequest("request needs at least one circuit"))
+		return
+	}
+	if cells := len(specs) * len(paramSets); cells > s.cfg.MaxCells {
+		writeError(w, badRequest("batch of %d cells exceeds the server cap of %d", cells, s.cfg.MaxCells))
+		return
+	}
+	runner, err := s.runnerFor(opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Parameter sets must be valid before the 200 streaming header goes
+	// out; the engine would reject them only after headers are sent.
+	for j := range paramSets {
+		if err := paramSets[j].Validate(); err != nil {
+			writeError(w, badRequest("parameter set %d: %v", j, err))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	// Resolve every spec across the engine's pool — generation and FT
+	// lowering are the expensive half of a generated batch, so they should
+	// not serialize on the handler goroutine ahead of the first row — with
+	// the request context observed per spec.
+	decompose := wantDecompose(opts)
+	resolved := make([]*leqa.Circuit, len(specs))
+	resolveErrs := make([]error, len(specs))
+	names := make([]string, len(specs))
+	pool.ForEach(len(specs), s.runner.Workers(), false, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			resolveErrs[i] = err
+			names[i] = specLabel(specs[i], i)
+			return nil
+		}
+		c, cerr := s.resolveCircuit(specs[i], decompose)
+		if cerr != nil {
+			resolveErrs[i] = cerr
+			names[i] = specLabel(specs[i], i)
+			return nil
+		}
+		resolved[i], names[i] = c, c.Name
+		return nil
+	})
+	good := make([]*leqa.Circuit, 0, len(specs))
+	orig := make([]int, 0, len(specs))
+	for i, c := range resolved {
+		if c != nil {
+			good = append(good, c)
+			orig = append(orig, i)
+		}
+	}
+	enc := newRowEncoder(w, r)
+	st := &batchStream{s: s, enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig}
+	err = runner.SweepGridStream(ctx, good, paramSets, st.engineCell)
+	if err == nil {
+		err = st.finish()
+	}
+	if err == nil {
+		enc.done(st.rows)
+		return
+	}
+	// Any early end — request-context cancellation, server abort, or the
+	// client hanging up mid-stream (a write error) — counts as a canceled
+	// batch: the engine stopped feeding unstarted work either way.
+	s.batchesCanceled.Add(1)
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.logf("batch canceled after %d of %d rows: %v", st.rows, len(specs)*len(paramSets), err)
+	} else {
+		s.logf("batch ended early after %d rows: %v", st.rows, err)
+	}
+	enc.fail(err)
+}
+
+// batchStream merges the engine's ordered cell stream (good circuits only)
+// with error rows for specs that failed resolution, preserving global
+// circuit-major input order: the engine delivers good circuits in order, so
+// whenever a good circuit's first cell arrives, every failed spec before it
+// owes its rows first.
+type batchStream struct {
+	s           *Server
+	enc         rowEncoder
+	paramSets   []leqa.Params
+	resolveErrs []error // per original spec; nil for resolved circuits
+	names       []string
+	orig        []int // engine circuit index → original spec index
+	next        int   // first original index whose rows are not yet emitted
+	rows        int
+}
+
+// engineCell receives one computed cell and re-labels it with the original
+// spec index, first flushing error rows for failed specs that precede it.
+func (b *batchStream) engineCell(cell leqa.GridCell) error {
+	oi := b.orig[cell.CircuitIndex]
+	if cell.ParamsIndex == 0 {
+		if err := b.flushFailedBefore(oi); err != nil {
+			return err
+		}
+		b.next = oi + 1
+	}
+	cell.CircuitIndex = oi
+	return b.emit(cell)
+}
+
+// finish emits rows for failed specs after the last resolved circuit.
+func (b *batchStream) finish() error {
+	return b.flushFailedBefore(len(b.resolveErrs))
+}
+
+// flushFailedBefore emits the error rows of every still-pending failed spec
+// with original index below oi.
+func (b *batchStream) flushFailedBefore(oi int) error {
+	for ; b.next < oi; b.next++ {
+		if b.resolveErrs[b.next] == nil {
+			continue // a resolved circuit: its cells come from the engine
+		}
+		for j := range b.paramSets {
+			cell := leqa.GridCell{
+				CircuitIndex: b.next,
+				ParamsIndex:  j,
+				Name:         b.names[b.next],
+				Params:       b.paramSets[j],
+				Err:          b.resolveErrs[b.next],
+			}
+			if err := b.emit(cell); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit writes and flushes one row, then fires the test hook.
+func (b *batchStream) emit(cell leqa.GridCell) error {
+	if err := b.enc.row(cell.Record()); err != nil {
+		return err
+	}
+	b.rows++
+	b.s.rowsStreamed.Add(1)
+	if b.s.cfg.FlushHook != nil {
+		b.s.cfg.FlushHook(b.rows)
+	}
+	return nil
+}
+
+// handleBenchmarks serves the generator catalog: the paper's Table 3
+// circuits with their reference sizes, plus the recognized spec families.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	names := leqa.Benchmarks()
+	infos := make([]client.BenchmarkInfo, len(names))
+	for i, n := range names {
+		st := benchgen.Paper[n]
+		infos[i] = client.BenchmarkInfo{Name: n, Qubits: st.Qubits, Operations: st.Operations}
+	}
+	writeJSON(w, http.StatusOK, client.BenchmarksResponse{
+		Benchmarks: infos,
+		Families:   append([]string(nil), benchgen.Families...),
+	})
+}

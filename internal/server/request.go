@@ -1,0 +1,247 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchgen"
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+// decodeJSON reads a JSON request body into v under the configured body
+// cap. The returned error is already classified (statusError) for the
+// handler to surface.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return classifyBodyErr(err)
+	}
+	return nil
+}
+
+// statusError carries the HTTP status a request-shaping failure maps to.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// classifyBodyErr maps body-read failures to statuses: over-cap bodies are
+// 413, everything else is a 400.
+func classifyBodyErr(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return &statusError{code: http.StatusRequestEntityTooLarge, msg: mbe.Error()}
+	}
+	return badRequest("decoding request: %v", err)
+}
+
+// writeError surfaces a request failure with its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		writeJSONError(w, se.code, se.msg)
+		return
+	}
+	writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+}
+
+// paramsFromSpec overlays one ParamSpec on the server's base parameter set.
+// Full validation happens once the engine binds estimators; only the
+// syntactic grid shape is checked here.
+func (s *Server) paramsFromSpec(spec *client.ParamSpec) (leqa.Params, error) {
+	p := s.cfg.Params.Clone()
+	if spec == nil {
+		return p, nil
+	}
+	if spec.Grid != "" {
+		g, err := leqa.ParseGrid(spec.Grid)
+		if err != nil {
+			return p, badRequest("%v", err)
+		}
+		p.Grid = g
+	}
+	if spec.ChannelCapacity != nil {
+		p.ChannelCapacity = *spec.ChannelCapacity
+	}
+	if spec.QubitSpeed != nil {
+		p.QubitSpeed = *spec.QubitSpeed
+	}
+	if spec.TMove != nil {
+		p.TMove = *spec.TMove
+	}
+	return p, nil
+}
+
+// paramSetsFromSpecs builds the grid's parameter columns; an empty list
+// means one column of server defaults.
+func (s *Server) paramSetsFromSpecs(specs []client.ParamSpec) ([]leqa.Params, error) {
+	if len(specs) == 0 {
+		return []leqa.Params{s.cfg.Params.Clone()}, nil
+	}
+	sets := make([]leqa.Params, len(specs))
+	for j := range specs {
+		p, err := s.paramsFromSpec(&specs[j])
+		if err != nil {
+			return nil, badRequest("paramSets[%d]: %v", j, err)
+		}
+		sets[j] = p
+	}
+	return sets, nil
+}
+
+// runnerFor returns the shared Runner, or a transient one bound to
+// request-level estimator options. The zone-model memo is process-wide, so
+// transient runners still share it.
+func (s *Server) runnerFor(spec *client.OptionsSpec) (*leqa.Runner, error) {
+	if spec == nil || (spec.Truncation == nil && spec.DisableCongestion == nil) {
+		return s.runner, nil
+	}
+	opt := s.cfg.Options
+	if spec.Truncation != nil {
+		opt.Truncation = *spec.Truncation
+	}
+	if spec.DisableCongestion != nil {
+		opt.DisableCongestion = *spec.DisableCongestion
+	}
+	return leqa.NewRunner(s.cfg.Params, opt, s.cfg.Workers)
+}
+
+// wantDecompose reports whether non-FT uploads should be lowered (the
+// default) or rejected.
+func wantDecompose(spec *client.OptionsSpec) bool {
+	return spec == nil || spec.Decompose == nil || *spec.Decompose
+}
+
+// resolveCircuit turns one CircuitSpec into an FT circuit, enforcing the
+// gate-count cap. Errors are per-spec: batch handlers turn them into error
+// rows rather than failing the request.
+func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.Circuit, error) {
+	var c *leqa.Circuit
+	var err error
+	switch {
+	case spec.QC != "" && spec.Generate != "":
+		return nil, fmt.Errorf("circuit spec has both qc and generate; pick one")
+	case spec.Generate != "":
+		// Admission control: screen the spec's predicted size before
+		// synthesizing anything, so an absurd parameter (shor-2000000)
+		// cannot balloon memory on its way to the post-generation cap.
+		if bound, ok := benchgen.PredictFTOps(spec.Generate); ok && bound > s.cfg.MaxGates {
+			return nil, fmt.Errorf("generator %q may produce up to %d operations, over the server cap of %d",
+				spec.Generate, bound, s.cfg.MaxGates)
+		}
+		c, err = leqa.GenerateFT(spec.Generate)
+	case spec.QC != "":
+		name := spec.Name
+		if name == "" {
+			name = "uploaded"
+		}
+		c, err = leqa.Parse(strings.NewReader(spec.QC), name)
+	default:
+		return nil, fmt.Errorf("circuit spec needs qc or generate")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name != "" {
+		c.Name = spec.Name
+	}
+	if !c.IsFT() {
+		if !decompose {
+			return nil, fmt.Errorf("circuit %q has non-FT gates and decompose is disabled", c.Name)
+		}
+		if c, err = leqa.Decompose(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.NumGates() > s.cfg.MaxGates {
+		return nil, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+			c.Name, c.NumGates(), s.cfg.MaxGates)
+	}
+	return c, nil
+}
+
+// specLabel names a circuit spec in error rows when resolution failed
+// before any circuit existed.
+func specLabel(spec client.CircuitSpec, i int) string {
+	switch {
+	case spec.Name != "":
+		return spec.Name
+	case spec.Generate != "":
+		return spec.Generate
+	default:
+		return fmt.Sprintf("circuit-%d", i)
+	}
+}
+
+// isJSONRequest reports whether the estimate body is the JSON spec form
+// (vs. a raw .qc upload).
+func isJSONRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json"))
+}
+
+// estimateRequestFromQC assembles an EstimateRequest from a raw .qc upload:
+// netlist in the body, name and parameter overrides in the query string.
+func (s *Server) estimateRequestFromQC(w http.ResponseWriter, r *http.Request) (client.EstimateRequest, error) {
+	var req client.EstimateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return req, classifyBodyErr(err)
+	}
+	if len(raw) == 0 {
+		return req, badRequest("empty .qc body")
+	}
+	req.QC = string(raw)
+	q := r.URL.Query()
+	req.Name = q.Get("name")
+	var ps client.ParamSpec
+	havePs := false
+	if g := q.Get("grid"); g != "" {
+		ps.Grid, havePs = g, true
+	}
+	if v := q.Get("nc"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, badRequest("query nc=%q: %v", v, err)
+		}
+		ps.ChannelCapacity, havePs = &n, true
+	}
+	if v := q.Get("v"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, badRequest("query v=%q: %v", v, err)
+		}
+		ps.QubitSpeed, havePs = &f, true
+	}
+	if v := q.Get("tmove"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, badRequest("query tmove=%q: %v", v, err)
+		}
+		ps.TMove, havePs = &f, true
+	}
+	if havePs {
+		req.Params = &ps
+	}
+	return req, nil
+}

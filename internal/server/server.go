@@ -1,0 +1,221 @@
+// Package server implements the leqad estimation service: an HTTP layer
+// over the public leqa API that estimates uploaded .qc netlists or
+// generated benchmarks and streams batch results back as they complete.
+//
+// Endpoints:
+//
+//	POST /v1/estimate    one circuit (JSON spec or raw .qc body) → one JSON record
+//	POST /v1/sweep       circuits under one parameter set → streamed rows
+//	POST /v1/grid        circuits × paramSets cross product → streamed rows
+//	GET  /v1/benchmarks  generator catalog
+//	GET  /healthz        build info + zone-model cache statistics
+//
+// The batch endpoints stream one leqa.ResultRecord per row — NDJSON by
+// default, server-sent events when the client asks for text/event-stream —
+// in input order as each row's prefix completes, with per-row errors
+// instead of batch aborts. All requests share one leqa.Runner, so every
+// estimate in the process funnels through the same memoized zone model;
+// request-context cancellation propagates into the sweep engine and stops
+// feeding unstarted work.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+// Default limits; every Config field of the same name overrides one.
+const (
+	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB of request body
+	DefaultMaxGates      = 2_000_000
+	DefaultMaxCells      = 4096
+	DefaultMaxConcurrent = 16
+)
+
+// Config assembles a Server. The zero value serves Table 1 defaults with
+// sane limits.
+type Config struct {
+	// Params is the base physical parameter set requests overlay; zero
+	// means leqa.DefaultParams().
+	Params leqa.Params
+	// Options is the base estimator tuning requests overlay.
+	Options leqa.EstimateOptions
+	// Workers sizes the shared Runner's pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes caps every request body; exceeding it is a 413.
+	MaxBodyBytes int64
+	// MaxGates caps one circuit's post-decomposition operation count.
+	MaxGates int
+	// MaxCells caps circuits × paramSets per batch request.
+	MaxCells int
+	// MaxConcurrent caps simultaneous estimation requests; excess
+	// requests get 429 rather than queueing without bound.
+	MaxConcurrent int
+	// Version is the build identifier reported by /healthz.
+	Version string
+	// Log receives request-level diagnostics; nil discards them.
+	Log *log.Logger
+	// FlushHook, when set, runs after each streamed row reaches the
+	// client (with the 1-based row count). It is a test seam: a blocking
+	// hook holds the stream — and through backpressure the whole batch —
+	// exactly where it is.
+	FlushHook func(rows int)
+}
+
+// Server is the leqad request layer. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg    Config
+	runner *leqa.Runner
+	mux    *http.ServeMux
+	sem    chan struct{}
+	start  time.Time
+
+	// baseCtx is cancelled by Abort to stop every in-flight batch during
+	// forced shutdown.
+	baseCtx   context.Context
+	abortBase context.CancelFunc
+
+	requests        atomic.Uint64
+	rowsStreamed    atomic.Uint64
+	batchesCanceled atomic.Uint64
+}
+
+// New validates the configuration and builds the service around one shared
+// Runner.
+func New(cfg Config) (*Server, error) {
+	if reflect.DeepEqual(cfg.Params, leqa.Params{}) {
+		cfg.Params = leqa.DefaultParams()
+	} else if len(cfg.Params.GateDelay) == 0 {
+		// Params.Validate tolerates an empty delay map (every one-qubit op
+		// would silently cost 0µs); a partially built config is a mistake,
+		// not a request for defaults.
+		return nil, fmt.Errorf("server: Config.Params has no gate delays; start from leqa.DefaultParams()")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxGates <= 0 {
+		cfg.MaxGates = DefaultMaxGates
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = DefaultMaxCells
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
+	runner, err := leqa.NewRunner(cfg.Params, cfg.Options, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("server: base parameters: %w", err)
+	}
+	baseCtx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		runner:    runner,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		start:     time.Now(),
+		baseCtx:   baseCtx,
+		abortBase: abort,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.withSlot(s.handleEstimate))
+	mux.HandleFunc("POST /v1/sweep", s.withSlot(s.handleSweep))
+	mux.HandleFunc("POST /v1/grid", s.withSlot(s.handleGrid))
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Abort cancels every in-flight batch. cmd/leqad calls it when graceful
+// drain exceeds its deadline, so hung streams cannot block shutdown.
+func (s *Server) Abort() { s.abortBase() }
+
+// Workers reports the shared pool size.
+func (s *Server) Workers() int { return s.runner.Workers() }
+
+// requestContext derives the batch context: cancelled when the client goes
+// away (request context) or when the server aborts.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// withSlot gates a handler behind the concurrency semaphore: a full server
+// answers 429 immediately instead of queueing unbounded work.
+func (s *Server) withSlot(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusTooManyRequests, "server at capacity; retry shortly")
+		}
+	}
+}
+
+// logf writes a request-level diagnostic when logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// handleHealthz reports build info, the shared zone-model memo counters and
+// the service's request totals.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := leqa.ZoneModelCacheStats()
+	writeJSON(w, http.StatusOK, client.Health{
+		Status:          "ok",
+		Version:         s.cfg.Version,
+		GoVersion:       runtime.Version(),
+		UptimeSec:       time.Since(s.start).Seconds(),
+		Workers:         s.runner.Workers(),
+		Requests:        s.requests.Load(),
+		RowsStreamed:    s.rowsStreamed.Load(),
+		BatchesCanceled: s.batchesCanceled.Load(),
+		ZoneModelCache: client.CacheStats{
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Entries:   st.Entries,
+			Capacity:  st.Capacity,
+		},
+	})
+}
+
+// writeJSON renders v as the whole reply.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONError renders the service's error envelope.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, client.APIError{Message: msg})
+}

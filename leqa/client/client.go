@@ -1,0 +1,190 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/leqa"
+)
+
+// Client talks to a leqad estimation service. The zero http.Client is fine
+// for most uses; streaming endpoints deliver rows as the server flushes
+// them, so no response timeout should be set on long batches (cancel via
+// the request context instead).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://localhost:8347"). A nil httpClient selects http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Estimate runs one circuit through POST /v1/estimate and returns its
+// result record.
+func (c *Client) Estimate(ctx context.Context, req EstimateRequest) (*leqa.ResultRecord, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/estimate", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var rec leqa.ResultRecord
+	if err := c.doJSON(hreq, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// EstimateQC uploads a raw .qc netlist body to POST /v1/estimate. name and
+// params travel in the query string; either may be zero.
+func (c *Client) EstimateQC(ctx context.Context, name string, qc io.Reader, params *ParamSpec) (*leqa.ResultRecord, error) {
+	q := url.Values{}
+	if name != "" {
+		q.Set("name", name)
+	}
+	if params != nil {
+		if params.Grid != "" {
+			q.Set("grid", params.Grid)
+		}
+		if params.ChannelCapacity != nil {
+			q.Set("nc", fmt.Sprint(*params.ChannelCapacity))
+		}
+		if params.QubitSpeed != nil {
+			q.Set("v", fmt.Sprint(*params.QubitSpeed))
+		}
+		if params.TMove != nil {
+			q.Set("tmove", fmt.Sprint(*params.TMove))
+		}
+	}
+	u := c.base + "/v1/estimate"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, qc)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "text/plain")
+	var rec leqa.ResultRecord
+	if err := c.doJSON(hreq, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Sweep streams POST /v1/sweep: row is called once per circuit, in input
+// order, as results arrive over the wire. A non-nil row error abandons the
+// stream and is returned.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, row func(leqa.ResultRecord) error) error {
+	return c.stream(ctx, "/v1/sweep", req, row)
+}
+
+// Grid streams POST /v1/grid: row is called once per (circuit, parameter
+// set) cell in circuit-major input order as results arrive.
+func (c *Client) Grid(ctx context.Context, req GridRequest, row func(leqa.ResultRecord) error) error {
+	return c.stream(ctx, "/v1/grid", req, row)
+}
+
+// Benchmarks fetches the GET /v1/benchmarks generator catalog.
+func (c *Client) Benchmarks(ctx context.Context) (*BenchmarksResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/benchmarks", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out BenchmarksResponse
+	if err := c.doJSON(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out Health
+	if err := c.doJSON(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// stream POSTs the request and decodes the NDJSON row stream.
+func (c *Client) stream(ctx context.Context, path string, req any, row func(leqa.ResultRecord) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec leqa.ResultRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("client: bad row %q: %w", line, err)
+		}
+		if err := row(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// doJSON executes the request and decodes a single JSON reply into out.
+func (c *Client) doJSON(hreq *http.Request, out any) error {
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx reply into an *APIError, falling back to
+// the raw body when it is not the JSON error envelope.
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if err := json.Unmarshal(raw, apiErr); err != nil || apiErr.Message == "" {
+		apiErr.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return apiErr
+}

@@ -1,0 +1,121 @@
+// Package client defines the wire schema of the leqad estimation service
+// (cmd/leqad, internal/server) and a small HTTP client for it. The row
+// format streamed by the batch endpoints is leqa.ResultRecord — the same
+// flat schema the JSON/CSV emitters use for baseline diffing — one compact
+// JSON object per NDJSON line (or SSE data frame).
+package client
+
+// CircuitSpec selects one circuit for estimation: either an inline .qc
+// netlist or a generator spec, never both.
+type CircuitSpec struct {
+	// Name labels the circuit in result rows; defaults to the generator
+	// spec or the .qc-declared name.
+	Name string `json:"name,omitempty"`
+	// QC is an inline .qc netlist (the paper's input format).
+	QC string `json:"qc,omitempty"`
+	// Generate names a built-in benchmark generator: gf2^<n>mult,
+	// hwb<n>ps, ham<n>, <n>bitadder, mod<2^n>adder, shor-<n>[x<rounds>].
+	// Generated circuits are lowered to the FT gate set automatically.
+	Generate string `json:"generate,omitempty"`
+}
+
+// ParamSpec overlays the server's base physical parameters (Table 1
+// defaults unless leqad was started with overrides), mirroring cmd/leqa's
+// flags. Nil pointer fields keep the base value.
+type ParamSpec struct {
+	// Grid is the fabric geometry as "WxH", e.g. "60x60".
+	Grid string `json:"grid,omitempty"`
+	// ChannelCapacity is Nc, the routing-channel capacity in qubits.
+	ChannelCapacity *int `json:"channelCapacity,omitempty"`
+	// QubitSpeed is 𝓋 in ULB sides per µs.
+	QubitSpeed *float64 `json:"qubitSpeed,omitempty"`
+	// TMove is the per-hop move time in µs.
+	TMove *float64 `json:"tMove,omitempty"`
+}
+
+// OptionsSpec tunes the estimator per request. Nil pointer fields keep the
+// server's configured defaults.
+type OptionsSpec struct {
+	// Truncation overrides the E[S_q] term limit (0 = paper's 20,
+	// negative = exact).
+	Truncation *int `json:"truncation,omitempty"`
+	// DisableCongestion switches the M/M/1 congestion model off (true) or
+	// back on (false) regardless of the server's default.
+	DisableCongestion *bool `json:"disableCongestion,omitempty"`
+	// Decompose lowers non-FT uploaded netlists to the FT gate set before
+	// estimating (default true); set false to reject them instead.
+	Decompose *bool `json:"decompose,omitempty"`
+}
+
+// EstimateRequest is the POST /v1/estimate JSON body: one circuit spec
+// inlined at the top level ({"generate": "shor-32"}), plus optional
+// parameter and option overlays.
+type EstimateRequest struct {
+	CircuitSpec
+	Params  *ParamSpec   `json:"params,omitempty"`
+	Options *OptionsSpec `json:"options,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep JSON body: many circuits under one
+// parameter set, streamed back as one row per circuit.
+type SweepRequest struct {
+	Circuits []CircuitSpec `json:"circuits"`
+	Params   *ParamSpec    `json:"params,omitempty"`
+	Options  *OptionsSpec  `json:"options,omitempty"`
+}
+
+// GridRequest is the POST /v1/grid JSON body: circuits × paramSets cross
+// product, streamed back as one row per cell in circuit-major input order.
+// An empty ParamSets means one column of server defaults.
+type GridRequest struct {
+	Circuits  []CircuitSpec `json:"circuits"`
+	ParamSets []ParamSpec   `json:"paramSets,omitempty"`
+	Options   *OptionsSpec  `json:"options,omitempty"`
+}
+
+// BenchmarkInfo is one GET /v1/benchmarks catalog entry, with the paper's
+// Table 2/3 reference workload sizes.
+type BenchmarkInfo struct {
+	Name       string `json:"name"`
+	Qubits     int    `json:"qubits"`
+	Operations int    `json:"operations"`
+}
+
+// BenchmarksResponse is the GET /v1/benchmarks reply.
+type BenchmarksResponse struct {
+	// Benchmarks lists the paper's 18 Table 3 circuits.
+	Benchmarks []BenchmarkInfo `json:"benchmarks"`
+	// Families lists the recognized generator spec shapes.
+	Families []string `json:"families"`
+}
+
+// CacheStats mirrors leqa.ZoneCacheStats on the wire.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Health is the GET /healthz reply: build info plus the shared zone-model
+// memo counters and the server's request/stream totals.
+type Health struct {
+	Status          string     `json:"status"`
+	Version         string     `json:"version"`
+	GoVersion       string     `json:"goVersion"`
+	UptimeSec       float64    `json:"uptimeSec"`
+	Workers         int        `json:"workers"`
+	Requests        uint64     `json:"requests"`
+	RowsStreamed    uint64     `json:"rowsStreamed"`
+	BatchesCanceled uint64     `json:"batchesCanceled"`
+	ZoneModelCache  CacheStats `json:"zoneModelCache"`
+}
+
+// APIError is the JSON error envelope every non-2xx reply carries.
+type APIError struct {
+	StatusCode int    `json:"-"`
+	Message    string `json:"error"`
+}
+
+func (e *APIError) Error() string { return e.Message }

@@ -1,0 +1,138 @@
+package leqa_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/leqa"
+)
+
+// emitFixtureCells builds a two-cell fixture — one success with awkward
+// floats, one error row — entirely by hand so the emitter tests need no
+// estimator run.
+func emitFixtureCells() []leqa.GridCell {
+	p := leqa.DefaultParams()
+	p.Grid = leqa.Grid{Width: 13, Height: 17}
+	p.ChannelCapacity = 3
+	p.QubitSpeed = 0.00125
+	ok := leqa.GridCell{
+		CircuitIndex: 0,
+		ParamsIndex:  0,
+		Name:         "fixture",
+		Params:       p,
+		Result: &leqa.EstimateResult{
+			EstimatedLatency: 123456.78125,            // exactly representable
+			LCNOTAvg:         1.0 / 3.0,               // repeating binary fraction
+			DUncong:          math.Nextafter(2000, 0), // one ulp off a round number
+			AvgZoneArea:      42.5,
+			ZoneSide:         7,
+			CriticalCNOTs:    11,
+			CriticalOneQubit: 29,
+			Qubits:           9,
+			Operations:       1234,
+		},
+	}
+	bad := leqa.GridCell{
+		CircuitIndex: 1,
+		ParamsIndex:  0,
+		Name:         "broken",
+		Params:       p,
+		Err:          errors.New("leqa: circuit \"broken\" contains non-FT gates; run Decompose first"),
+	}
+	return []leqa.GridCell{ok, bad}
+}
+
+func TestWriteResultsCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := leqa.WriteResultsCSV(&buf, emitFixtureCells()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`circuit,circuit_index,params_index,grid_width,grid_height,channel_capacity,qubit_speed,t_move,qubits,operations,estimated_latency_us,lcnot_avg_us,d_uncong_us,avg_zone_area,zone_side,critical_cnots,critical_one_qubit,error`,
+		`fixture,0,0,13,17,3,0.00125,100,9,1234,123456.78125,0.3333333333333333,1999.9999999999998,42.5,7,11,29,`,
+		`broken,1,0,13,17,3,0.00125,100,0,0,0,0,0,0,0,0,0,"leqa: circuit ""broken"" contains non-FT gates; run Decompose first"`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("CSV output drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteResultsCSVRoundTrip(t *testing.T) {
+	cells := emitFixtureCells()
+	var buf bytes.Buffer
+	if err := leqa.WriteResultsCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want header + 2", len(rows))
+	}
+	// The success row's floats must parse back bitwise identical — the
+	// property baseline diffing depends on.
+	rec := cells[0].Record()
+	checks := []struct {
+		col  int
+		want float64
+	}{
+		{6, rec.QubitSpeed},
+		{7, rec.TMove},
+		{10, rec.EstimatedLatencyUs},
+		{11, rec.LCNOTAvgUs},
+		{12, rec.DUncongUs},
+		{13, rec.AvgZoneArea},
+	}
+	for _, c := range checks {
+		got, err := strconv.ParseFloat(rows[1][c.col], 64)
+		if err != nil {
+			t.Fatalf("column %d (%q): %v", c.col, rows[1][c.col], err)
+		}
+		if math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Fatalf("column %d parsed to %x, want bitwise %x", c.col,
+				math.Float64bits(got), math.Float64bits(c.want))
+		}
+	}
+	// The error row keeps the message (including embedded quotes) intact.
+	if rows[2][17] != cells[1].Err.Error() {
+		t.Fatalf("error column = %q, want %q", rows[2][17], cells[1].Err.Error())
+	}
+	if rows[2][10] != "0" {
+		t.Fatalf("error row latency column = %q, want structural 0", rows[2][10])
+	}
+}
+
+func TestWriteResultsJSONRoundTrip(t *testing.T) {
+	cells := emitFixtureCells()
+	var buf bytes.Buffer
+	if err := leqa.WriteResultsJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	var got []leqa.ResultRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := []leqa.ResultRecord{cells[0].Record(), cells[1].Record()}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("JSON round trip drifted:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	// Error rows must carry the message and elide it on success.
+	if want[0].Error != "" || want[1].Error == "" {
+		t.Fatalf("error field wiring: %+v", want)
+	}
+	if !strings.Contains(buf.String(), `"error": "leqa: circuit \"broken\"`) {
+		t.Fatalf("serialized error missing:\n%s", buf.String())
+	}
+	if n := strings.Count(buf.String(), `"error"`); n != 1 {
+		t.Fatalf(`found %d "error" keys, want 1 (success records omit it):%s`, n, buf.String())
+	}
+}

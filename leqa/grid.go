@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/analysis"
 	"repro/internal/core"
-	"repro/internal/pool"
 )
 
 // GridCell is one (circuit, parameter-set) estimate inside a cross-product
@@ -27,15 +25,9 @@ type GridCell struct {
 	Err error
 }
 
-// SweepGrid estimates the full circuits × paramSets cross product. Each
-// circuit is analyzed exactly once — the fused QODG+IIG build is
-// fabric-independent — and the resulting Analysis is shared by every
-// parameter set; the per-cell work that remains is Algorithm 1 itself,
-// which the zonemodel LRU further collapses across cells sharing a fabric
-// configuration. Cells come back in input order (circuit-major). The error
-// is non-nil when ctx was cancelled or a parameter set fails validation;
-// per-circuit and per-cell failures land in GridCell.Err.
-func (r *Runner) SweepGrid(ctx context.Context, circuits []*Circuit, paramSets []Params) ([]GridCell, error) {
+// gridEstimators validates every parameter set against the runner's options
+// and binds one estimator per set.
+func (r *Runner) gridEstimators(paramSets []Params) ([]*core.Estimator, error) {
 	ests := make([]*core.Estimator, len(paramSets))
 	for j, p := range paramSets {
 		est, err := core.New(p, r.opt)
@@ -44,49 +36,30 @@ func (r *Runner) SweepGrid(ctx context.Context, circuits []*Circuit, paramSets [
 		}
 		ests[j] = est
 	}
+	return ests, nil
+}
 
-	// Phase 1: analyze every circuit once, fanned across the pool.
-	analyses := make([]*analysis.Analysis, len(circuits))
-	analysisErrs := make([]error, len(circuits))
-	pool.ForEach(len(circuits), r.workers, false, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			analysisErrs[i] = err
-			return nil
-		}
-		c := circuits[i]
-		if !c.IsFT() {
-			analysisErrs[i] = fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
-			return nil
-		}
-		analyses[i], analysisErrs[i] = analysis.Analyze(c)
+// SweepGrid estimates the full circuits × paramSets cross product. Each
+// circuit is analyzed exactly once — the fused QODG+IIG build is
+// fabric-independent — and the resulting Analysis is shared by every
+// parameter set; the per-cell work that remains is Algorithm 1 itself,
+// which the zonemodel LRU further collapses across cells sharing a fabric
+// configuration. Cells come back in input order (circuit-major). The error
+// is non-nil when ctx was cancelled or a parameter set fails validation;
+// per-circuit and per-cell failures land in GridCell.Err.
+//
+// SweepGrid collects SweepGridStream, so the two are cell-for-cell
+// bitwise identical by construction.
+func (r *Runner) SweepGrid(ctx context.Context, circuits []*Circuit, paramSets []Params) ([]GridCell, error) {
+	cells := make([]GridCell, 0, len(circuits)*len(paramSets))
+	err := r.SweepGridStream(ctx, circuits, paramSets, func(cell GridCell) error {
+		cells = append(cells, cell)
 		return nil
 	})
-
-	// Phase 2: fan the cross product. Every slot is dispatched even after
-	// cancellation — cancelled cells carry the context error — so the
-	// output always accounts for every (circuit, params) pair.
-	m := len(paramSets)
-	cells := make([]GridCell, len(circuits)*m)
-	pool.ForEach(len(cells), r.workers, false, func(k int) error {
-		i, j := k/m, k%m
-		cell := GridCell{
-			CircuitIndex: i,
-			ParamsIndex:  j,
-			Name:         circuits[i].Name,
-			Params:       paramSets[j],
-		}
-		switch {
-		case analysisErrs[i] != nil:
-			cell.Err = analysisErrs[i]
-		case ctx.Err() != nil:
-			cell.Err = ctx.Err()
-		default:
-			cell.Result, cell.Err = ests[j].EstimateAnalysis(analyses[i])
-		}
-		cells[k] = cell
-		return nil
-	})
-	return cells, ctx.Err()
+	if err != nil && len(cells) == 0 && ctx.Err() == nil {
+		return nil, err // parameter-set validation failure: nothing ran
+	}
+	return cells, err
 }
 
 // SweepGrid estimates the circuits × paramSets cross product with default

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -77,6 +79,24 @@ const (
 
 // DefaultParams returns the paper's Table 1 parameter set.
 func DefaultParams() Params { return fabric.Default() }
+
+// ParseGrid parses "WxH" fabric dimensions (e.g. "60x60") — the spelling
+// cmd/leqa flags and leqad requests share.
+func ParseGrid(s string) (Grid, error) {
+	ws, hs, ok := strings.Cut(s, "x")
+	if !ok {
+		return Grid{}, fmt.Errorf("leqa: grid %q must look like 60x60", s)
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil {
+		return Grid{}, fmt.Errorf("leqa: grid width %q: %v", ws, err)
+	}
+	h, err := strconv.Atoi(hs)
+	if err != nil {
+		return Grid{}, fmt.Errorf("leqa: grid height %q: %v", hs, err)
+	}
+	return Grid{Width: w, Height: h}, nil
+}
 
 // Load parses a .qc netlist file.
 func Load(path string) (*Circuit, error) { return circuit.LoadQCFile(path) }

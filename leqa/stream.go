@@ -1,0 +1,126 @@
+package leqa
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/pool"
+)
+
+// This file holds the streaming counterparts of Run/RunNamed/SweepGrid:
+// identical computation fanned across the same pool, but every finished row
+// is handed to a caller-supplied emit callback in strict input order as
+// soon as the contiguous prefix through that row has completed — row 0 is
+// delivered while later rows are still computing. The batch engines collect
+// these streams, so streamed and collected results are bitwise identical.
+//
+// emit runs on the caller's goroutine (safe for http.ResponseWriter and
+// other single-goroutine sinks). A non-nil emit error — a disconnected
+// network client, typically — stops the feed early and is returned; fn
+// work not yet started is never run.
+
+// SweepGridStream estimates the circuits × paramSets cross product exactly
+// like SweepGrid — each circuit analyzed once, cells in circuit-major input
+// order — but delivers every GridCell to emit as it completes instead of
+// collecting the batch. Cancellation is observed per cell: cells that
+// never ran carry ctx's error, and the function returns ctx.Err() after
+// the last delivery. A parameter-set validation failure is returned before
+// any work starts.
+func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, paramSets []Params, emit func(GridCell) error) error {
+	ests, err := r.gridEstimators(paramSets)
+	if err != nil {
+		return err
+	}
+	// Analyses are computed lazily, once per circuit, by whichever worker
+	// first needs one — no up-front barrier over the whole batch, so the
+	// first circuit's cells stream while later circuits are still
+	// unanalyzed. Workers on the same circuit share the computation.
+	type lazyAnalysis struct {
+		once sync.Once
+		a    *analysis.Analysis
+		err  error
+	}
+	analyses := make([]lazyAnalysis, len(circuits))
+	analyze := func(i int) (*analysis.Analysis, error) {
+		la := &analyses[i]
+		la.once.Do(func() {
+			if err := ctx.Err(); err != nil {
+				la.err = err
+				return
+			}
+			c := circuits[i]
+			if !c.IsFT() {
+				la.err = fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+				return
+			}
+			la.a, la.err = analysis.Analyze(c)
+		})
+		return la.a, la.err
+	}
+
+	// Stream the cross product. Every slot is dispatched even after
+	// cancellation — cancelled cells carry the context error — so the
+	// stream always accounts for every (circuit, params) pair.
+	m := len(paramSets)
+	err = pool.ForEachOrdered(len(circuits)*m, r.workers, func(k int) GridCell {
+		i, j := k/m, k%m
+		cell := GridCell{
+			CircuitIndex: i,
+			ParamsIndex:  j,
+			Name:         circuits[i].Name,
+			Params:       paramSets[j],
+		}
+		a, aerr := analyze(i)
+		switch {
+		case aerr != nil:
+			cell.Err = aerr
+		case ctx.Err() != nil:
+			cell.Err = ctx.Err()
+		default:
+			cell.Result, cell.Err = ests[j].EstimateAnalysis(a)
+		}
+		return cell
+	}, emit)
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// RunStream is Run with per-result delivery: every SweepResult reaches emit
+// in input order as soon as its prefix is complete.
+func (r *Runner) RunStream(ctx context.Context, circuits []*Circuit, emit func(SweepResult) error) error {
+	return r.runStream(ctx, len(circuits), func(i int) SweepResult {
+		c := circuits[i]
+		sr := SweepResult{Index: i, Name: c.Name}
+		sr.Result, sr.Err = r.estimateOne(c)
+		return sr
+	}, func(i int) string { return circuits[i].Name }, emit)
+}
+
+// RunNamedStream is RunNamed with per-result delivery: generation, FT
+// lowering, graph builds and estimation all happen inside the pool, and
+// each finished benchmark streams out in input order.
+func (r *Runner) RunNamedStream(ctx context.Context, names []string, emit func(SweepResult) error) error {
+	return r.runStream(ctx, len(names), func(i int) SweepResult {
+		return r.generateAndEstimate(i, names[i])
+	}, func(i int) string { return names[i] }, emit)
+}
+
+// runStream fans the per-item work across the pool and delivers results in
+// input order. Cancelled slots fast-path into error results so the stream
+// accounts for every input; emit failures stop the feed.
+func (r *Runner) runStream(ctx context.Context, n int, work func(i int) SweepResult, name func(i int) string, emit func(SweepResult) error) error {
+	err := pool.ForEachOrdered(n, r.workers, func(i int) SweepResult {
+		if err := ctx.Err(); err != nil {
+			return SweepResult{Index: i, Name: name(i), Err: err}
+		}
+		return work(i)
+	}, emit)
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

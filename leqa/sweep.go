@@ -8,7 +8,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchgen"
 	"repro/internal/core"
-	"repro/internal/pool"
 )
 
 // SweepResult is one circuit's outcome inside a batch run. Results keep the
@@ -71,15 +70,22 @@ func (r *Runner) Run(ctx context.Context, circuits []*Circuit) ([]SweepResult, e
 // estimates it, so even circuit synthesis is parallelized.
 func (r *Runner) RunNamed(ctx context.Context, names []string) ([]SweepResult, error) {
 	return r.run(ctx, len(names), func(i int) SweepResult {
-		sr := SweepResult{Index: i, Name: names[i]}
-		c, err := benchgen.GenerateFT(names[i])
-		if err != nil {
-			sr.Err = fmt.Errorf("leqa: generating %q: %w", names[i], err)
-			return sr
-		}
-		sr.Result, sr.Err = r.estimateOne(c)
-		return sr
+		return r.generateAndEstimate(i, names[i])
 	}, func(i int) string { return names[i] })
+}
+
+// generateAndEstimate synthesizes one named benchmark, lowers it to the FT
+// gate set and estimates it — the per-item work RunNamed and
+// RunNamedStream share.
+func (r *Runner) generateAndEstimate(i int, name string) SweepResult {
+	sr := SweepResult{Index: i, Name: name}
+	c, err := benchgen.GenerateFT(name)
+	if err != nil {
+		sr.Err = fmt.Errorf("leqa: generating %q: %w", name, err)
+		return sr
+	}
+	sr.Result, sr.Err = r.estimateOne(c)
+	return sr
 }
 
 // estimateOne analyzes the circuit (one fused graph pass) and runs the
@@ -95,20 +101,18 @@ func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
 	return r.est.EstimateAnalysis(a)
 }
 
-// run fans the per-item work across the shared pool primitive. Every slot
-// is dispatched even after cancellation — workers fast-path cancelled items
-// into an error result — so the output always accounts for every input.
+// run fans the per-item work across the shared pool primitive and collects
+// the ordered stream. Every slot is dispatched even after cancellation —
+// workers fast-path cancelled items into an error result — so the output
+// always accounts for every input, and collected results are bitwise
+// identical to what RunStream/RunNamedStream deliver.
 func (r *Runner) run(ctx context.Context, n int, work func(i int) SweepResult, name func(i int) string) ([]SweepResult, error) {
-	results := make([]SweepResult, n)
-	pool.ForEach(n, r.workers, false, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			results[i] = SweepResult{Index: i, Name: name(i), Err: err}
-			return nil
-		}
-		results[i] = work(i)
+	results := make([]SweepResult, 0, n)
+	err := r.runStream(ctx, n, work, name, func(sr SweepResult) error {
+		results = append(results, sr)
 		return nil
 	})
-	return results, ctx.Err()
+	return results, err
 }
 
 // Sweep estimates every circuit concurrently with default options and a
