@@ -177,6 +177,99 @@ func BenchmarkEstimate(b *testing.B) {
 	})
 }
 
+// BenchmarkEstimateWarm measures repeated estimates of one circuit — the
+// steady-state leqad worker path — with the per-estimate scratch drawn from
+// one reusable arena (graph build, weights and longest-path state all
+// recycled; allocs/op collapses to the handful of escaping Result fields)
+// against the fresh-allocation baseline.
+func BenchmarkEstimateWarm(b *testing.B) {
+	p := fabric.Default()
+	names := []string{"gf2^128mult"}
+	if !testing.Short() {
+		names = append(names, "gf2^256mult")
+	}
+	for _, name := range names {
+		c := ftCircuit(b, name)
+		est, err := core.New(p, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("Arena/"+sanitize(name), func(b *testing.B) {
+			ar := analysis.NewArena()
+			if _, err := est.EstimateArena(c, ar); err != nil {
+				b.Fatal(err) // warm the arena outside the timed loop
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateArena(c, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Fresh/"+sanitize(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLongestPath isolates the critical-path phase of an estimate: the
+// serial oracle sweep against the level-partitioned parallel relaxation
+// (forced to 4 workers, and at the machine's automatic setting). On a
+// single-core host the auto dispatcher stays serial and Parallel4 mostly
+// measures coordination overhead; the ≥1.5× target applies at
+// GOMAXPROCS ≥ 4.
+func BenchmarkLongestPath(b *testing.B) {
+	names := []string{"gf2^128mult"}
+	if !testing.Short() {
+		names = append(names, "gf2^256mult")
+	}
+	for _, name := range names {
+		c := ftCircuit(b, name)
+		g, err := qodg.Build(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := g.NewWeights(func(gt circuit.Gate) float64 {
+			if gt.Type == circuit.CNOT {
+				return 1000.5
+			}
+			return 100.25
+		})
+		b.Run("Serial/"+sanitize(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.LongestPathSerial(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Parallel4/"+sanitize(name), func(b *testing.B) {
+			s := new(qodg.PathScratch)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.LongestPathParallel(w, s, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Auto/"+sanitize(name), func(b *testing.B) {
+			s := new(qodg.PathScratch)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.LongestPathInto(w, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep runs the estimator over the quick suite sequentially and
 // through the leqa.Runner worker pool — the fleet-of-scenarios path.
 func BenchmarkSweep(b *testing.B) {

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	const text = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEstimateWarm/Arena/gf2_128mult         	      42	  25443100 ns/op	   27984 B/op	       6 allocs/op
+BenchmarkLongestPath/Serial/gf2_128mult-8       	     100	   1766999 ns/op	 3976000 B/op	       5 allocs/op
+BenchmarkTable3Full/ham7                        	       1	    123456 ns/op	         3.14 speedup	         2.11 err%
+PASS
+ok  	repro	0.257s
+`
+	got, err := parseBenchOutput(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	b0 := got[0]
+	if b0.Name != "BenchmarkEstimateWarm/Arena/gf2_128mult" || b0.Iterations != 42 ||
+		b0.NsPerOp != 25443100 || b0.BytesPerOp != 27984 || b0.AllocsPerOp != 6 {
+		t.Errorf("benchmark 0 parsed wrong: %+v", b0)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if got[1].Name != "BenchmarkLongestPath/Serial/gf2_128mult" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got[1].Name)
+	}
+	m := got[2].Metrics
+	if m["speedup"] != 3.14 || m["err%"] != 2.11 {
+		t.Errorf("custom metrics parsed wrong: %+v", m)
+	}
+}
+
+func TestParseBenchOutputRejectsGarbageMetrics(t *testing.T) {
+	if _, err := parseBenchOutput("BenchmarkX 10 abc ns/op"); err == nil {
+		t.Error("garbage metric value parsed without error")
+	}
+}

@@ -28,6 +28,8 @@
 //	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
 //	-verbose          print model intermediates and cache statistics
+//	-cpuprofile FILE  write a pprof CPU profile of the run
+//	-memprofile FILE  write a pprof heap profile at exit
 package main
 
 import (
@@ -36,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -114,6 +118,8 @@ func run() error {
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
 		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
 		verbose      = flag.Bool("verbose", false, "print model intermediates and cache statistics")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Var(&grids, "grid", "fabric WxH; repeat to sweep fabrics (-grid 60x60 -grid 90x90)")
 	flag.Var(&capacities, "capacity", "channel capacity Nc; repeat to sweep capacities")
@@ -124,6 +130,32 @@ func run() error {
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	// pprof hooks so hot-path regressions can be diagnosed on real
+	// workloads in the field without editing the benchmark harness.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "leqa: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

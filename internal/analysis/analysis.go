@@ -38,21 +38,51 @@ type Analysis struct {
 // Analyze builds both graphs in one streaming pass over the gate list. The
 // circuit must be decomposed to one- and two-qubit gates: wider gates are
 // rejected (the IIG is undefined on them), exactly as iig.Build does.
+//
+// Every call allocates independent, immutable graphs; the arena-backed
+// (*Arena).Analyze runs the identical pass into recycled buffers for the
+// steady-state worker loops.
 func Analyze(c *circuit.Circuit) (*Analysis, error) {
+	return analyze(c, nil)
+}
+
+// analyze is the shared fused pass. With a nil arena it allocates fresh
+// immutable storage (the package-level Analyze contract); with an arena it
+// reuses the arena's buffers and graph headers, producing a borrowed
+// Analysis that stays valid until the arena's next use.
+func analyze(c *circuit.Circuit, ar *Arena) (*Analysis, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	numQ := c.NumQubits()
-	nodes := qodg.NewNodes(c)
+	var (
+		nodes                    []qodg.Node
+		succDeg, predDeg, iigDeg []int32
+		scan                     *qodg.DepScanner
+	)
+	if ar != nil {
+		ar.nodes = qodg.NewNodesInto(ar.nodes, c)
+		nodes = ar.nodes
+		n := len(nodes)
+		ar.succDeg = growClear(ar.succDeg, n+1)
+		ar.predDeg = growClear(ar.predDeg, n+1)
+		ar.iigDeg = growClear(ar.iigDeg, numQ+1)
+		succDeg, predDeg, iigDeg = ar.succDeg, ar.predDeg, ar.iigDeg
+		ar.scan.ResetFor(numQ)
+		scan = &ar.scan
+	} else {
+		nodes = qodg.NewNodes(c)
+		n := len(nodes)
+		succDeg = make([]int32, n+1)
+		predDeg = make([]int32, n+1)
+		iigDeg = make([]int32, numQ+1)
+		scan = qodg.NewDepScanner(numQ)
+	}
 	n := len(nodes)
 	end := qodg.NodeID(n - 1)
 
 	// Combined counting pass: QODG in/out degrees and IIG incidence counts
 	// from the same walk of the gate stream.
-	succDeg := make([]int32, n+1)
-	predDeg := make([]int32, n+1)
-	iigDeg := make([]int32, numQ+1)
-	scan := qodg.NewDepScanner(numQ)
 	count := func(from, to qodg.NodeID) {
 		succDeg[from]++
 		predDeg[to]++
@@ -74,9 +104,23 @@ func Analyze(c *circuit.Circuit) (*Analysis, error) {
 	scan.VisitEnd(end, count)
 
 	// Offsets + combined fill pass.
-	succOff, succ := csr.Offsets[qodg.NodeID](succDeg)
-	predOff, pred := csr.Offsets[qodg.NodeID](predDeg)
-	iigOff, iigNbr := csr.Offsets[int32](iigDeg)
+	var (
+		succOff, predOff []int32
+		succ, pred       []qodg.NodeID
+		iigOff, iigNbr   []int32
+	)
+	if ar != nil {
+		ar.succOff, ar.succ = csr.OffsetsInto(succDeg, ar.succOff, ar.succ)
+		ar.predOff, ar.pred = csr.OffsetsInto(predDeg, ar.predOff, ar.pred)
+		ar.iigOff, ar.iigNbr = csr.OffsetsInto(iigDeg, ar.iigOff, ar.iigNbr)
+		succOff, succ = ar.succOff, ar.succ
+		predOff, pred = ar.predOff, ar.pred
+		iigOff, iigNbr = ar.iigOff, ar.iigNbr
+	} else {
+		succOff, succ = csr.Offsets[qodg.NodeID](succDeg)
+		predOff, pred = csr.Offsets[qodg.NodeID](predDeg)
+		iigOff, iigNbr = csr.Offsets[int32](iigDeg)
+	}
 	fill := func(from, to qodg.NodeID) {
 		succ[succDeg[from]] = to
 		succDeg[from]++
@@ -96,6 +140,15 @@ func Analyze(c *circuit.Circuit) (*Analysis, error) {
 	}
 	scan.VisitEnd(end, fill)
 
+	if ar != nil {
+		qodg.FromCSRInto(&ar.qg, nodes, numQ, succOff, succ, predOff, pred)
+		ar.a = Analysis{
+			Circuit: c,
+			QODG:    &ar.qg,
+			IIG:     iig.FromIncidenceScratch(numQ, iigOff, iigNbr, &ar.igs),
+		}
+		return &ar.a, nil
+	}
 	return &Analysis{
 		Circuit: c,
 		QODG:    qodg.FromCSR(nodes, numQ, succOff, succ, predOff, pred),

@@ -104,7 +104,23 @@ func (e *Estimator) Estimate(c *circuit.Circuit) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.estimate(c, a.QODG, a.IIG)
+	return e.estimate(c, a.QODG, a.IIG, nil)
+}
+
+// EstimateArena is Estimate through a reusable arena: the fused analysis
+// pass, the weight vector and the critical-path sweep all run in ar's
+// recycled buffers, so a warm worker estimates with near-zero heap
+// allocation. The Result is independent of the arena (nothing it holds
+// aliases arena memory) and is bitwise identical to Estimate's.
+func (e *Estimator) EstimateArena(c *circuit.Circuit, ar *analysis.Arena) (*Result, error) {
+	if !c.IsFT() {
+		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+	}
+	a, err := ar.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	return e.estimate(c, a.QODG, a.IIG, ar)
 }
 
 // EstimateAnalysis runs Algorithm 1 on a previously analyzed circuit — the
@@ -113,15 +129,28 @@ func (e *Estimator) EstimateAnalysis(a *analysis.Analysis) (*Result, error) {
 	return e.EstimateGraphs(a.Circuit, a.QODG, a.IIG)
 }
 
+// EstimateAnalysisArena is EstimateAnalysis with the estimate-phase scratch
+// (weights, longest-path state) drawn from ar. The analysis itself may be a
+// shared immutable one or arena-borrowed; only its graphs are read.
+func (e *Estimator) EstimateAnalysisArena(a *analysis.Analysis, ar *analysis.Arena) (*Result, error) {
+	if !a.Circuit.IsFT() {
+		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", a.Circuit.Name)
+	}
+	return e.estimate(a.Circuit, a.QODG, a.IIG, ar)
+}
+
 // EstimateGraphs is Estimate for callers that already built the graphs.
 func (e *Estimator) EstimateGraphs(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (*Result, error) {
 	if !c.IsFT() {
 		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
 	}
-	return e.estimate(c, g, ig)
+	return e.estimate(c, g, ig, nil)
 }
 
-func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (*Result, error) {
+// estimate runs Algorithm 1 over prebuilt graphs. ar, when non-nil, donates
+// the weight vector and longest-path scratch; the math is identical either
+// way, so arena and fresh runs produce bitwise-equal Results.
+func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph, ar *analysis.Arena) (*Result, error) {
 	p := e.Params
 	res := &Result{
 		LOneQubitAvg: p.OneQubitRouting(),
@@ -151,7 +180,7 @@ func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (
 	// Lines 19–20: re-weight the QODG with per-op routing latencies and
 	// take the critical path (Eq. 1).
 	var werr error
-	weights := g.NewWeights(func(gt circuit.Gate) float64 {
+	weightOf := func(gt circuit.Gate) float64 {
 		if gt.Type == circuit.CNOT {
 			return p.DCNOT + res.LCNOTAvg
 		}
@@ -160,11 +189,19 @@ func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (
 			werr = err
 		}
 		return d + res.LOneQubitAvg
-	})
+	}
+	var weights qodg.Weights
+	var scratch *qodg.PathScratch
+	if ar != nil {
+		weights = ar.WeightsFor(g, weightOf)
+		scratch = ar.Path()
+	} else {
+		weights = g.NewWeights(weightOf)
+	}
 	if werr != nil {
 		return nil, werr
 	}
-	cp, err := g.LongestPath(weights)
+	cp, err := g.LongestPathInto(weights, scratch)
 	if err != nil {
 		return nil, err
 	}

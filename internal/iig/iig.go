@@ -84,19 +84,53 @@ func Build(c *circuit.Circuit) (*Graph, error) {
 	return FromIncidence(q, off, nbr), nil
 }
 
+// Scratch holds the reusable storage of FromIncidenceScratch: the Graph
+// header plus its offset/weight/degree arrays, recycled across circuits by
+// the analysis arena. A zero Scratch is ready to use.
+type Scratch struct {
+	g    Graph
+	adjw []int32
+	off  []int32
+	wt   []int32
+}
+
 // FromIncidence assembles a Graph from multigraph CSR incidence data: off
 // holds q+1 row offsets into nbr, and each nbr entry is one unit-weight
 // interaction endpoint (each two-qubit op appears once in either endpoint's
 // row). Rows are sorted and duplicate neighbors collapsed into weights in
 // place. The analysis layer calls this after its fused counting/fill pass.
 func FromIncidence(q int, off []int32, nbr []int32) *Graph {
-	g := &Graph{
+	return fromIncidence(q, off, nbr, new(Scratch), true)
+}
+
+// FromIncidenceScratch is FromIncidence into arena-owned storage: the
+// returned graph is sc's embedded header, aliases sc's buffers plus the
+// caller's nbr array, and stays valid only until the next call with the
+// same scratch. Heavily collapsed rows are not cloned to tight arrays here
+// — the incidence backing store is arena memory about to be reused anyway,
+// so pinning it costs nothing.
+func FromIncidenceScratch(q int, off []int32, nbr []int32, sc *Scratch) *Graph {
+	return fromIncidence(q, off, nbr, sc, false)
+}
+
+func fromIncidence(q int, off []int32, nbr []int32, sc *Scratch, clone bool) *Graph {
+	if cap(sc.adjw) < q {
+		sc.adjw = make([]int32, q)
+	}
+	if cap(sc.off) < q+1 {
+		sc.off = make([]int32, q+1)
+	}
+	g := &sc.g
+	*g = Graph{
 		Q:           q,
-		adjw:        make([]int32, q),
+		adjw:        sc.adjw[:q],
 		totalWeight: len(nbr) / 2,
 	}
-	newOff := make([]int32, q+1)
-	wt := make([]int32, 0, len(nbr))
+	newOff := sc.off[:q+1]
+	wt := sc.wt[:0]
+	if clone && cap(wt) < len(nbr) {
+		wt = make([]int32, 0, len(nbr))
+	}
 	w := int32(0) // compaction write cursor into nbr
 	for i := 0; i < q; i++ {
 		newOff[i] = w
@@ -116,6 +150,17 @@ func FromIncidence(q int, off []int32, nbr []int32) *Graph {
 	}
 	newOff[q] = w
 	g.off = newOff
+	if !clone {
+		// Keep the grown wt backing array for the next scratch build; the
+		// clone path must NOT do this — its Scratch is throwaway, and
+		// retaining the full-length wt buffer in a struct the returned
+		// Graph points into would pin it (and defeat the tight-copy below)
+		// for the graph's lifetime.
+		sc.wt = wt
+		g.nbr = nbr[:w]
+		g.wt = wt
+		return g
+	}
 	// Duplicate collapse can shrink the row data by orders of magnitude
 	// (benchmark circuits repeat the same qubit pairs heavily), and graphs
 	// can outlive the build by a whole sweep — copy to tight arrays rather

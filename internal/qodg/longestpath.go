@@ -1,0 +1,314 @@
+package qodg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/csr"
+)
+
+// ParallelThreshold is the node count at or above which LongestPath fans the
+// level-partitioned relaxation across GOMAXPROCS workers. Below it the
+// serial sweep wins outright (per-level synchronization costs more than the
+// whole scan), so small circuits always take the serial fast path. The
+// parallel sweep is bitwise identical to the serial one by construction;
+// the threshold is a performance knob, never a correctness one.
+//
+// The variable is read without synchronization on every sweep: tune it at
+// program start, before any concurrent estimates run. For per-call control
+// use PathScratch.MaxWorkers instead.
+var ParallelThreshold = 1 << 16
+
+// spanGrain is the minimum number of same-level nodes dispatched to a
+// worker per chunk. Levels narrower than one grain are relaxed inline by
+// the coordinator with no synchronization at all, so deep-and-narrow graphs
+// degrade gracefully to the serial scan plus one level-index pass.
+const spanGrain = 1024
+
+// PathScratch carries the reusable state of a longest-path sweep: the
+// dist/from relaxation vectors plus the ASAP level index the parallel sweep
+// partitions work by. A zero PathScratch is ready to use; buffers grow to
+// the largest graph seen and are reused across calls, so a warm scratch
+// performs no allocation. Not safe for concurrent use; pool one per worker.
+type PathScratch struct {
+	// MaxWorkers caps the parallel sweep's worker count for calls through
+	// this scratch; 0 means GOMAXPROCS. Callers that already saturate the
+	// machine with their own worker pool (leqa.Runner sets this to
+	// GOMAXPROCS divided by its pool size) use it to keep pool-workers ×
+	// sweep-helpers from oversubscribing the host; 1 forces the serial
+	// sweep. Purely a performance knob — results are bitwise identical at
+	// every setting.
+	MaxWorkers int
+
+	dist       []float64
+	from       []NodeID
+	level      []int32  // ASAP level per node
+	levelOff   []int32  // level l's nodes sit at levelNodes[levelOff[l]:levelOff[l+1]]
+	levelCur   []int32  // counting-sort fill cursors
+	levelNodes []NodeID // node IDs grouped by level, ascending within a level
+}
+
+// grow is csr.Grow under a local name: resize, reallocating only when the
+// capacity is insufficient, contents unspecified.
+func grow[T any](buf []T, n int) []T { return csr.Grow(buf, n) }
+
+// CriticalPath holds the result of a longest-path query.
+type CriticalPath struct {
+	// Length is the total weight along the heaviest start→end path.
+	Length float64
+	// Nodes lists the path's node IDs from start to end (inclusive).
+	Nodes []NodeID
+	// CountByType counts operation nodes on the path per gate type; the
+	// paper's N_CNOT^critical and N_g^critical.
+	CountByType map[circuit.GateType]int
+}
+
+// LongestPath computes the critical path under the given node weights (the
+// O(|V|+|E|) DAG longest-path algorithm the paper cites; the node array is
+// already in topological order). Graphs with at least ParallelThreshold
+// nodes on a multi-core machine take the level-partitioned parallel sweep;
+// the result is bitwise identical either way.
+func (g *Graph) LongestPath(w Weights) (CriticalPath, error) {
+	return g.LongestPathInto(w, nil)
+}
+
+// LongestPathInto is LongestPath with caller-owned scratch: a warm
+// PathScratch makes the sweep allocation-free apart from the returned
+// path and count map. A nil scratch allocates a temporary one.
+func (g *Graph) LongestPathInto(w Weights, s *PathScratch) (CriticalPath, error) {
+	if len(w) != len(g.Nodes) {
+		return CriticalPath{}, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
+	}
+	if s == nil {
+		s = new(PathScratch)
+	}
+	n := len(g.Nodes)
+	s.dist = grow(s.dist, n)
+	s.from = grow(s.from, n)
+	workers := runtime.GOMAXPROCS(0)
+	if s.MaxWorkers > 0 && workers > s.MaxWorkers {
+		workers = s.MaxWorkers
+	}
+	if n >= ParallelThreshold && workers > 1 {
+		g.relaxParallel(w, s, workers)
+	} else {
+		g.relaxSerial(w, s.dist, s.from)
+	}
+	return g.recoverPath(s.dist, s.from), nil
+}
+
+// LongestPathSerial is the push-based single-threaded sweep — the original
+// algorithm, retained as the oracle the parallel relaxation must match
+// bitwise and as the small-circuit fast path.
+func (g *Graph) LongestPathSerial(w Weights) (CriticalPath, error) {
+	if len(w) != len(g.Nodes) {
+		return CriticalPath{}, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
+	}
+	n := len(g.Nodes)
+	dist := make([]float64, n)
+	from := make([]NodeID, n)
+	g.relaxSerial(w, dist, from)
+	return g.recoverPath(dist, from), nil
+}
+
+// LongestPathParallel forces the level-partitioned relaxation with the given
+// worker count regardless of ParallelThreshold and GOMAXPROCS — the
+// equivalence tests and benchmarks drive the parallel machinery through it
+// even on graphs and machines the auto dispatch would run serially.
+func (g *Graph) LongestPathParallel(w Weights, s *PathScratch, workers int) (CriticalPath, error) {
+	if len(w) != len(g.Nodes) {
+		return CriticalPath{}, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
+	}
+	if s == nil {
+		s = new(PathScratch)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(g.Nodes)
+	s.dist = grow(s.dist, n)
+	s.from = grow(s.from, n)
+	g.relaxParallel(w, s, workers)
+	return g.recoverPath(s.dist, s.from), nil
+}
+
+// relaxSerial runs the push relaxation over the topological node order:
+// for each node u in order, every successor edge (u,v) offers dist[u]+w[v].
+// The first offer a node sees is always taken (from[v] == -1), later offers
+// only when strictly greater — so ties resolve to the lowest-ID predecessor.
+func (g *Graph) relaxSerial(w Weights, dist []float64, from []NodeID) {
+	clear(dist)
+	for i := range from {
+		from[i] = -1
+	}
+	n := len(g.Nodes)
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		for _, v := range g.Succ(NodeID(u)) {
+			if cand := du + w[v]; cand > dist[v] || from[v] == -1 {
+				dist[v] = cand
+				from[v] = NodeID(u)
+			}
+		}
+	}
+}
+
+// relaxParallel is the pull-based, level-partitioned relaxation. ASAP
+// levels stratify the DAG so that every predecessor of a level-l node sits
+// strictly below level l; once a level's predecessors are finalized, each of
+// its nodes can compute its own dist/from independently by scanning its
+// predecessor list. Predecessor lists are sorted ascending — the same order
+// the serial push visits a node's incoming edges in — and the max uses the
+// identical float expression and tie rule, so the result is bitwise equal
+// to relaxSerial no matter how levels are chunked across workers.
+func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
+	n := len(g.Nodes)
+
+	// ASAP levels (one push pass over the topological order) + depth,
+	// via the same kernel Levels uses.
+	s.level = grow(s.level, n)
+	level := s.level
+	depth := g.computeLevels(level)
+
+	// Counting sort: group node IDs by level, ascending within each level.
+	s.levelOff = grow(s.levelOff, int(depth)+2)
+	off := s.levelOff
+	clear(off)
+	for _, lv := range level {
+		off[lv+1]++
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	s.levelCur = grow(s.levelCur, int(depth)+1)
+	cur := s.levelCur
+	copy(cur, off[:depth+1])
+	s.levelNodes = grow(s.levelNodes, n)
+	nodes := s.levelNodes
+	for u := 0; u < n; u++ {
+		lv := level[u]
+		nodes[cur[lv]] = NodeID(u)
+		cur[lv]++
+	}
+
+	dist, from := s.dist, s.from
+	clear(dist)
+	for i := range from {
+		from[i] = -1
+	}
+
+	// Worker gang: helpers block on the jobs channel; the coordinator
+	// relaxes narrow levels inline (no synchronization) and splits wide
+	// levels into ≥spanGrain-node chunks, taking the first chunk itself.
+	// wg.Wait is the inter-level barrier: level l+1 only starts once every
+	// level-l chunk has finished, so each pull reads finalized dist values.
+	// The gang is spawned lazily at the first level wide enough to
+	// dispatch, so deep-narrow graphs degrade to the serial scan plus one
+	// level-index pass with no goroutine churn at all.
+	type span struct{ lo, hi int32 }
+	helpers := workers - 1
+	var jobs chan span
+	var wg, gang sync.WaitGroup
+	startGang := func() {
+		jobs = make(chan span, helpers)
+		gang.Add(helpers)
+		for i := 0; i < helpers; i++ {
+			go func() {
+				defer gang.Done()
+				for sp := range jobs {
+					g.relaxSpan(w, dist, from, nodes[sp.lo:sp.hi])
+					wg.Done()
+				}
+			}()
+		}
+	}
+	for lv := int32(1); lv <= depth; lv++ {
+		lo, hi := off[lv], off[lv+1]
+		width := hi - lo
+		per := (width + int32(workers) - 1) / int32(workers)
+		if per < spanGrain {
+			per = spanGrain
+		}
+		chunks := (width + per - 1) / per
+		if helpers == 0 || chunks <= 1 {
+			g.relaxSpan(w, dist, from, nodes[lo:hi])
+			continue
+		}
+		if jobs == nil {
+			startGang()
+		}
+		wg.Add(int(chunks) - 1)
+		for c := int32(1); c < chunks; c++ {
+			clo := lo + c*per
+			chi := clo + per
+			if chi > hi {
+				chi = hi
+			}
+			jobs <- span{clo, chi}
+		}
+		g.relaxSpan(w, dist, from, nodes[lo:lo+per])
+		wg.Wait()
+	}
+	if jobs != nil {
+		close(jobs)
+		gang.Wait()
+	}
+}
+
+// relaxSpan finalizes dist/from for a slice of same-level nodes. Scanning
+// the sorted predecessor list with "first offer always taken, later offers
+// only when strictly greater" reproduces the serial push byte for byte: the
+// push visits a node's incoming edges in exactly ascending predecessor
+// order, computes the same dist[p]+w[v] sums, and breaks ties the same way.
+func (g *Graph) relaxSpan(w Weights, dist []float64, from []NodeID, span []NodeID) {
+	for _, v := range span {
+		wv := w[v]
+		best := 0.0
+		bestFrom := NodeID(-1)
+		for _, p := range g.Pred(v) {
+			if cand := dist[p] + wv; cand > best || bestFrom == -1 {
+				best = cand
+				bestFrom = p
+			}
+		}
+		if bestFrom != -1 {
+			dist[v] = best
+			from[v] = bestFrom
+		}
+	}
+}
+
+// recoverPath walks the from-chain backwards from the end node, sizing the
+// path slice exactly in a first pass and filling it in place in a second —
+// no append/reverse round trip.
+func (g *Graph) recoverPath(dist []float64, from []NodeID) CriticalPath {
+	end := g.End()
+	cp := CriticalPath{
+		Length:      dist[end],
+		CountByType: make(map[circuit.GateType]int),
+	}
+	steps := 0
+	for v := end; ; v = from[v] {
+		steps++
+		if v == 0 || from[v] == -1 {
+			break
+		}
+	}
+	cp.Nodes = make([]NodeID, steps)
+	i := steps - 1
+	for v := end; ; v = from[v] {
+		cp.Nodes[i] = v
+		i--
+		if v == 0 || from[v] == -1 {
+			break
+		}
+	}
+	for _, id := range cp.Nodes {
+		if node := g.Nodes[id]; !node.IsPseudo() {
+			cp.CountByType[node.Op.Type]++
+		}
+	}
+	return cp
+}

@@ -84,14 +84,24 @@ func (g *Graph) OutDegree(u NodeID) int { return int(g.succOff[u+1] - g.succOff[
 // gate in program order, end anchor. Shared by Build and the fused
 // analysis-layer builder.
 func NewNodes(c *circuit.Circuit) []Node {
-	nodes := make([]Node, len(c.Gates)+2)
-	nodes[0] = Node{ID: 0, GateIndex: -1}
-	for i, gate := range c.Gates {
-		nodes[i+1] = Node{ID: NodeID(i + 1), Op: gate, GateIndex: i}
+	return NewNodesInto(nil, c)
+}
+
+// NewNodesInto is NewNodes into a reusable buffer: buf's backing array is
+// reused when large enough, so a warm arena builds the node array without
+// allocating. Every slot is overwritten.
+func NewNodesInto(buf []Node, c *circuit.Circuit) []Node {
+	n := len(c.Gates) + 2
+	if cap(buf) < n {
+		buf = make([]Node, n)
 	}
-	end := len(nodes) - 1
-	nodes[end] = Node{ID: NodeID(end), GateIndex: -1}
-	return nodes
+	buf = buf[:n]
+	buf[0] = Node{ID: 0, GateIndex: -1}
+	for i, gate := range c.Gates {
+		buf[i+1] = Node{ID: NodeID(i + 1), Op: gate, GateIndex: i}
+	}
+	buf[n-1] = Node{ID: NodeID(n - 1), GateIndex: -1}
+	return buf
 }
 
 // DepScanner streams the merged dependency edges of a circuit: for each
@@ -112,9 +122,18 @@ func NewDepScanner(numQubits int) *DepScanner {
 
 // Reset rewinds the scanner so a second identical pass can run.
 func (s *DepScanner) Reset() {
-	for i := range s.last {
-		s.last[i] = 0
+	clear(s.last)
+}
+
+// ResetFor resizes the scanner to numQubits and rewinds it — the arena path
+// that reuses one scanner across circuits of different register sizes.
+func (s *DepScanner) ResetFor(numQubits int) {
+	if cap(s.last) < numQubits {
+		s.last = make([]NodeID, numQubits)
+		return
 	}
+	s.last = s.last[:numQubits]
+	clear(s.last)
 }
 
 // VisitGate emits (from, id) once per distinct dependency source of the
@@ -227,8 +246,17 @@ func sortPredSegments(off []int32, pred []NodeID) {
 // already be sorted ascending (they are whenever edges were generated by a
 // DepScanner run); predecessor segments are sorted here.
 func FromCSR(nodes []Node, numQubits int, succOff []int32, succ []NodeID, predOff []int32, pred []NodeID) *Graph {
+	g := new(Graph)
+	FromCSRInto(g, nodes, numQubits, succOff, succ, predOff, pred)
+	return g
+}
+
+// FromCSRInto is FromCSR into a caller-owned Graph value — the arena path,
+// which keeps one Graph header alive across analyses instead of allocating
+// one per circuit. The same segment requirements as FromCSR apply.
+func FromCSRInto(dst *Graph, nodes []Node, numQubits int, succOff []int32, succ []NodeID, predOff []int32, pred []NodeID) {
 	sortPredSegments(predOff, pred)
-	return &Graph{
+	*dst = Graph{
 		Nodes:     nodes,
 		NumQubits: numQubits,
 		succOff:   succOff,
@@ -322,86 +350,62 @@ type Weights []float64
 // NewWeights builds a weight vector with weightOf evaluated per operation
 // node and 0 at the pseudo-nodes.
 func (g *Graph) NewWeights(weightOf func(circuit.Gate) float64) Weights {
-	w := make(Weights, len(g.Nodes))
-	for i, n := range g.Nodes {
-		if !n.IsPseudo() {
-			w[i] = weightOf(n.Op)
-		}
-	}
-	return w
+	return g.NewWeightsInto(nil, weightOf)
 }
 
-// CriticalPath holds the result of a longest-path query.
-type CriticalPath struct {
-	// Length is the total weight along the heaviest start→end path.
-	Length float64
-	// Nodes lists the path's node IDs from start to end (inclusive).
-	Nodes []NodeID
-	// CountByType counts operation nodes on the path per gate type; the
-	// paper's N_CNOT^critical and N_g^critical.
-	CountByType map[circuit.GateType]int
-}
-
-// LongestPath computes the critical path under the given node weights. The
-// node array is in topological order by construction, so this is one linear
-// sweep (the O(|V|+|E|) DAG longest-path algorithm the paper cites).
-func (g *Graph) LongestPath(w Weights) (CriticalPath, error) {
-	if len(w) != len(g.Nodes) {
-		return CriticalPath{}, fmt.Errorf("qodg: %d weights for %d nodes", len(w), len(g.Nodes))
-	}
+// NewWeightsInto is NewWeights into a reusable buffer: buf's backing array
+// is reused when large enough. Every slot is overwritten (pseudo-nodes get
+// an explicit 0), so a recycled buffer cannot leak stale weights.
+func (g *Graph) NewWeightsInto(buf Weights, weightOf func(circuit.Gate) float64) Weights {
 	n := len(g.Nodes)
-	dist := make([]float64, n)
-	from := make([]NodeID, n)
-	for i := range from {
-		from[i] = -1
+	if cap(buf) < n {
+		buf = make(Weights, n)
 	}
-	for u := 0; u < n; u++ {
-		du := dist[u]
-		for _, v := range g.Succ(NodeID(u)) {
-			if cand := du + w[v]; cand > dist[v] || from[v] == -1 {
-				dist[v] = cand
-				from[v] = NodeID(u)
-			}
+	buf = buf[:n]
+	for i, node := range g.Nodes {
+		if node.IsPseudo() {
+			buf[i] = 0
+		} else {
+			buf[i] = weightOf(node.Op)
 		}
 	}
-	end := g.End()
-	cp := CriticalPath{
-		Length:      dist[end],
-		CountByType: make(map[circuit.GateType]int),
-	}
-	// Recover the path.
-	var rev []NodeID
-	for v := end; v != -1; v = from[v] {
-		rev = append(rev, v)
-		if v == 0 {
-			break
-		}
-	}
-	cp.Nodes = make([]NodeID, 0, len(rev))
-	for i := len(rev) - 1; i >= 0; i-- {
-		cp.Nodes = append(cp.Nodes, rev[i])
-	}
-	for _, id := range cp.Nodes {
-		node := g.Nodes[id]
-		if !node.IsPseudo() {
-			cp.CountByType[node.Op.Type]++
-		}
-	}
-	return cp, nil
+	return buf
 }
 
 // Levels returns each node's ASAP level (start = 0) — the unweighted depth
 // used for scheduling and reporting.
 func (g *Graph) Levels() []int {
-	lv := make([]int, len(g.Nodes))
-	for u := range g.Nodes {
+	lv32 := make([]int32, len(g.Nodes))
+	g.computeLevels(lv32)
+	lv := make([]int, len(lv32))
+	for i, v := range lv32 {
+		lv[i] = int(v)
+	}
+	return lv
+}
+
+// computeLevels fills level (len == NumNodes, pre-zeroed by the caller or
+// fresh) with each node's ASAP level via one push pass over the topological
+// order, and returns the graph depth (the maximum level). The single kernel
+// behind both Levels and the parallel sweep's level partitioning.
+func (g *Graph) computeLevels(level []int32) int32 {
+	clear(level)
+	n := len(g.Nodes)
+	for u := 0; u < n; u++ {
+		lu := level[u] + 1
 		for _, v := range g.Succ(NodeID(u)) {
-			if lv[u]+1 > lv[v] {
-				lv[v] = lv[u] + 1
+			if lu > level[v] {
+				level[v] = lu
 			}
 		}
 	}
-	return lv
+	depth := int32(0)
+	for _, lv := range level {
+		if lv > depth {
+			depth = lv
+		}
+	}
+	return depth
 }
 
 // CheckAcyclic verifies the topological-order invariant: every edge points

@@ -89,6 +89,67 @@ type Server struct {
 	requests        atomic.Uint64
 	rowsStreamed    atomic.Uint64
 	batchesCanceled atomic.Uint64
+	latency         latencyRecorder
+}
+
+// latencyBucketBounds are the upper edges of the coarse request-latency
+// histogram /healthz reports; the final bucket is unbounded.
+var latencyBucketBounds = [...]time.Duration{
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+}
+
+// latencyRecorder accumulates per-request estimate latency with lock-free
+// counters: count/sum/max plus a coarse histogram — the cheap first slice
+// of request metrics, shared by every estimation endpoint.
+type latencyRecorder struct {
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+	maxNanos atomic.Uint64
+	buckets  [len(latencyBucketBounds) + 1]atomic.Uint64
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d.Nanoseconds())
+	l.count.Add(1)
+	l.sumNanos.Add(ns)
+	for {
+		cur := l.maxNanos.Load()
+		if ns <= cur || l.maxNanos.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	idx := len(latencyBucketBounds)
+	for i, bound := range latencyBucketBounds {
+		if d < bound {
+			idx = i
+			break
+		}
+	}
+	l.buckets[idx].Add(1)
+}
+
+func (l *latencyRecorder) snapshot() client.LatencyStats {
+	const msPerNano = 1e-6
+	st := client.LatencyStats{
+		Count:          l.count.Load(),
+		SumMs:          float64(l.sumNanos.Load()) * msPerNano,
+		MaxMs:          float64(l.maxNanos.Load()) * msPerNano,
+		BucketBoundsMs: make([]float64, len(latencyBucketBounds)),
+		Buckets:        make([]uint64, len(l.buckets)),
+	}
+	if st.Count > 0 {
+		st.AvgMs = st.SumMs / float64(st.Count)
+	}
+	for i, bound := range latencyBucketBounds {
+		st.BucketBoundsMs[i] = float64(bound) * msPerNano
+	}
+	for i := range l.buckets {
+		st.Buckets[i] = l.buckets[i].Load()
+	}
+	return st
 }
 
 // New validates the configuration and builds the service around one shared
@@ -161,14 +222,57 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return ctx, func() { stop(); cancel() }
 }
 
+// statusCapture remembers the first status code a handler writes so
+// withSlot can decide whether the request did estimation work. Flush is
+// forwarded so the streaming row encoders still see an http.Flusher.
+type statusCapture struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sc *statusCapture) WriteHeader(code int) {
+	if sc.status == 0 {
+		sc.status = code
+	}
+	sc.ResponseWriter.WriteHeader(code)
+}
+
+func (sc *statusCapture) Write(b []byte) (int, error) {
+	if sc.status == 0 {
+		sc.status = http.StatusOK
+	}
+	return sc.ResponseWriter.Write(b)
+}
+
+func (sc *statusCapture) Flush() {
+	if f, ok := sc.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withSlot gates a handler behind the concurrency semaphore: a full server
-// answers 429 immediately instead of queueing unbounded work.
+// answers 429 immediately instead of queueing unbounded work. Admitted
+// requests that start a successful reply are timed into the latency
+// recorder — from slot acquisition to the last byte written, so streamed
+// batches count their full duration. Requests rejected before estimation
+// (malformed bodies, bad parameters — any 4xx/5xx) are not recorded, so
+// probe or fuzz traffic cannot drag the metric toward zero.
 func (s *Server) withSlot(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
-			h(w, r)
+			sc := &statusCapture{ResponseWriter: w}
+			t0 := time.Now()
+			// Deferred so aborted NDJSON streams — enc.fail panics with
+			// http.ErrAbortHandler to cut the connection — are still
+			// timed like their SSE equivalents.
+			defer func() {
+				if sc.status >= http.StatusOK && sc.status < http.StatusBadRequest {
+					s.latency.observe(time.Since(t0))
+				}
+			}()
+			h(sc, r)
 		default:
 			w.Header().Set("Retry-After", "1")
 			writeJSONError(w, http.StatusTooManyRequests, "server at capacity; retry shortly")
@@ -196,6 +300,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:        s.requests.Load(),
 		RowsStreamed:    s.rowsStreamed.Load(),
 		BatchesCanceled: s.batchesCanceled.Load(),
+		EstimateLatency: s.latency.snapshot(),
 		ZoneModelCache: client.CacheStats{
 			Hits:      st.Hits,
 			Misses:    st.Misses,

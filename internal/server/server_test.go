@@ -703,3 +703,61 @@ func TestHealthzUnderLoad(t *testing.T) {
 		t.Fatalf("rowsStreamed %d → %d, want +%d", h0.RowsStreamed, h1.RowsStreamed, rows)
 	}
 }
+
+// TestHealthzEstimateLatencyCounters proves every admitted estimation
+// request lands in the latency recorder: count tracks requests, the sum and
+// max move, the histogram stays consistent with the count, and read-only
+// endpoints (healthz itself) are not timed.
+func TestHealthzEstimateLatencyCounters(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	h0, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.EstimateLatency.Count != 0 {
+		t.Fatalf("fresh server reports %d timed requests", h0.EstimateLatency.Count)
+	}
+	req := client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Estimate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := h.EstimateLatency
+	if lat.Count != 3 {
+		t.Fatalf("latency count = %d after 3 estimates, want 3", lat.Count)
+	}
+	if lat.SumMs <= 0 || lat.MaxMs <= 0 || lat.AvgMs <= 0 {
+		t.Fatalf("latency aggregates must be positive: %+v", lat)
+	}
+	if lat.MaxMs > lat.SumMs {
+		t.Fatalf("max %v exceeds sum %v", lat.MaxMs, lat.SumMs)
+	}
+	if len(lat.Buckets) != len(lat.BucketBoundsMs)+1 {
+		t.Fatalf("histogram shape: %d buckets for %d bounds", len(lat.Buckets), len(lat.BucketBoundsMs))
+	}
+	var inBuckets uint64
+	for _, b := range lat.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != lat.Count {
+		t.Fatalf("histogram holds %d requests, count says %d", inBuckets, lat.Count)
+	}
+	// Rejected requests must not skew the metric: an unknown generator is
+	// a 4xx that never estimated anything.
+	if _, err := c.Estimate(context.Background(),
+		client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "nosuchbench"}}); err == nil {
+		t.Fatal("bogus generator spec was accepted")
+	}
+	h, err = c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EstimateLatency.Count != 3 {
+		t.Fatalf("rejected request was timed: count %d, want 3", h.EstimateLatency.Count)
+	}
+}

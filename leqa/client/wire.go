@@ -98,18 +98,42 @@ type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 }
 
+// LatencyStats summarizes per-request estimate latency: every estimation
+// request (estimate/sweep/grid) that began a successful reply, timed from
+// slot acquisition to the last byte. Requests rejected up front (4xx/5xx —
+// malformed bodies, bad parameters, over-cap batches) are not counted.
+type LatencyStats struct {
+	// Count is the number of timed requests.
+	Count uint64 `json:"count"`
+	// SumMs and MaxMs aggregate request durations in milliseconds;
+	// AvgMs = SumMs / Count.
+	SumMs float64 `json:"sumMs"`
+	MaxMs float64 `json:"maxMs"`
+	AvgMs float64 `json:"avgMs"`
+	// Buckets is a coarse non-cumulative histogram: Buckets[i] counts
+	// requests with BucketBoundsMs[i-1] ≤ duration < BucketBoundsMs[i]
+	// (Buckets[0] has no lower bound); the final bucket is unbounded
+	// above. The bucket counts sum to Count for a quiescent server; a
+	// snapshot taken while requests are completing may momentarily be off
+	// by the in-flight updates (counters are lock-free, not a consistent
+	// cut).
+	BucketBoundsMs []float64 `json:"bucketBoundsMs"`
+	Buckets        []uint64  `json:"buckets"`
+}
+
 // Health is the GET /healthz reply: build info plus the shared zone-model
 // memo counters and the server's request/stream totals.
 type Health struct {
-	Status          string     `json:"status"`
-	Version         string     `json:"version"`
-	GoVersion       string     `json:"goVersion"`
-	UptimeSec       float64    `json:"uptimeSec"`
-	Workers         int        `json:"workers"`
-	Requests        uint64     `json:"requests"`
-	RowsStreamed    uint64     `json:"rowsStreamed"`
-	BatchesCanceled uint64     `json:"batchesCanceled"`
-	ZoneModelCache  CacheStats `json:"zoneModelCache"`
+	Status          string       `json:"status"`
+	Version         string       `json:"version"`
+	GoVersion       string       `json:"goVersion"`
+	UptimeSec       float64      `json:"uptimeSec"`
+	Workers         int          `json:"workers"`
+	Requests        uint64       `json:"requests"`
+	RowsStreamed    uint64       `json:"rowsStreamed"`
+	BatchesCanceled uint64       `json:"batchesCanceled"`
+	EstimateLatency LatencyStats `json:"estimateLatency"`
+	ZoneModelCache  CacheStats   `json:"zoneModelCache"`
 }
 
 // APIError is the JSON error envelope every non-2xx reply carries.

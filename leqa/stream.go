@@ -2,7 +2,6 @@ package leqa
 
 import (
 	"context"
-	"fmt"
 	"sync"
 
 	"repro/internal/analysis"
@@ -51,8 +50,7 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 				return
 			}
 			c := circuits[i]
-			if !c.IsFT() {
-				la.err = fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+			if la.err = ftError(c); la.err != nil {
 				return
 			}
 			la.a, la.err = analysis.Analyze(c)
@@ -60,9 +58,26 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 		return la.a, la.err
 	}
 
+	// analyzeArena is the single-column fast path: the analysis feeds only
+	// the calling worker's one cell, so it runs in that worker's arena with
+	// the same check order (ctx, FT, analyze) as the shared lazy path.
+	analyzeArena := func(ctx context.Context, c *Circuit, ar *analysis.Arena) (*analysis.Analysis, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := ftError(c); err != nil {
+			return nil, err
+		}
+		return ar.Analyze(c)
+	}
+
 	// Stream the cross product. Every slot is dispatched even after
 	// cancellation — cancelled cells carry the context error — so the
-	// stream always accounts for every (circuit, params) pair.
+	// stream always accounts for every (circuit, params) pair. Each cell
+	// borrows a pooled arena for its estimate-phase scratch; with a single
+	// parameter column the analysis feeds exactly one cell, so the graph
+	// build runs in the same arena too and the whole cell is
+	// allocation-free once the pool is warm.
 	m := len(paramSets)
 	err = pool.ForEachOrdered(len(circuits)*m, r.workers, func(k int) GridCell {
 		i, j := k/m, k%m
@@ -72,14 +87,22 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 			Name:         circuits[i].Name,
 			Params:       paramSets[j],
 		}
-		a, aerr := analyze(i)
+		ar := r.arena()
+		defer r.release(ar)
+		var a *analysis.Analysis
+		var aerr error
+		if m == 1 {
+			a, aerr = analyzeArena(ctx, circuits[i], ar)
+		} else {
+			a, aerr = analyze(i)
+		}
 		switch {
 		case aerr != nil:
 			cell.Err = aerr
 		case ctx.Err() != nil:
 			cell.Err = ctx.Err()
 		default:
-			cell.Result, cell.Err = ests[j].EstimateAnalysis(a)
+			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
 		}
 		return cell
 	}, emit)

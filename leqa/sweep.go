@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/benchgen"
@@ -29,10 +31,47 @@ type SweepResult struct {
 // result, sharing the estimator (and through it the memoized zone model)
 // across workers. Safe for concurrent use; construct once and reuse across
 // sweeps.
+//
+// Workers draw their per-estimate scratch state (graph-build buffers,
+// weight vector, longest-path arrays) from a pool of analysis.Arenas, so a
+// warm Runner — the leqad replica serving steady traffic — performs
+// near-zero heap allocation per estimate. Results never alias arena memory.
 type Runner struct {
 	est     *core.Estimator
 	opt     EstimateOptions
 	workers int
+	arenas  sync.Pool    // of *analysis.Arena
+	active  atomic.Int32 // arenas currently checked out ≈ cells in flight
+}
+
+// arena checks a warm arena out of the pool (or makes a fresh one). The
+// arena's longest-path scratch is capped to an even share of the cores
+// among the estimates currently in flight, so pool-workers × sweep-helpers
+// stay near GOMAXPROCS in aggregate: a saturated pool runs each cell's
+// critical-path sweep serially (the cells themselves are the parallelism),
+// while a lone large request — the interactive leqad case — fans its sweep
+// across every core. The share is a checkout-time snapshot, so a burst of
+// simultaneous checkouts can transiently overshoot while the first wave's
+// earlier, larger shares drain; it cannot deadlock or change results —
+// MaxWorkers is purely a performance cap.
+func (r *Runner) arena() *analysis.Arena {
+	ar, ok := r.arenas.Get().(*analysis.Arena)
+	if !ok {
+		ar = analysis.NewArena()
+	}
+	sweepWorkers := runtime.GOMAXPROCS(0) / int(r.active.Add(1))
+	if sweepWorkers < 1 {
+		sweepWorkers = 1
+	}
+	ar.Path().MaxWorkers = sweepWorkers
+	return ar
+}
+
+// release returns an arena to the pool once every borrow of its current
+// contents has ended.
+func (r *Runner) release(ar *analysis.Arena) {
+	r.active.Add(-1)
+	r.arenas.Put(ar)
 }
 
 // NewRunner validates the parameters and builds a Runner. workers ≤ 0
@@ -88,17 +127,28 @@ func (r *Runner) generateAndEstimate(i int, name string) SweepResult {
 	return sr
 }
 
-// estimateOne analyzes the circuit (one fused graph pass) and runs the
-// estimator on the result.
-func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
-	if !c.IsFT() {
-		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+// ftError is the package's one copy of the FT-gate-set precondition every
+// estimation path checks before analyzing a circuit.
+func ftError(c *Circuit) error {
+	if c.IsFT() {
+		return nil
 	}
-	a, err := analysis.Analyze(c)
+	return fmt.Errorf("leqa: circuit %q contains non-FT gates; run Decompose first", c.Name)
+}
+
+// estimateOne analyzes the circuit (one fused graph pass) and runs the
+// estimator on the result, with both phases working out of a pooled arena.
+func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
+	if err := ftError(c); err != nil {
+		return nil, err
+	}
+	ar := r.arena()
+	defer r.release(ar)
+	a, err := ar.Analyze(c)
 	if err != nil {
 		return nil, err
 	}
-	return r.est.EstimateAnalysis(a)
+	return r.est.EstimateAnalysisArena(a, ar)
 }
 
 // run fans the per-item work across the shared pool primitive and collects
