@@ -3,14 +3,21 @@
 //
 // Usage:
 //
-//	leqa [flags] <circuit.qc | benchmark-name> [more circuits...]
+//	leqa [flags] <circuit.qc | benchmark-name | -> [more circuits...]
 //
-// Each positional argument is either a .qc netlist file or a generator spec
-// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder. The
-// repeatable -grid/-capacity/-speed flags form a parameter matrix (their
-// cross product); circuits × parameter sets fan out across a worker pool
-// (the leqa.Runner sweep-grid engine), each circuit analyzed exactly once,
-// and print as a table in argument order.
+// Each positional argument is either a .qc netlist file, a generator spec
+// such as gf2^16mult, hwb50ps, ham15, 8bitadder, mod1048576adder, or "-"
+// for a .qc netlist on stdin. The repeatable -grid/-capacity/-speed flags
+// form a parameter matrix (their cross product); circuits × parameter sets
+// fan out across a worker pool (the leqa.Runner sweep-grid engine), each
+// circuit analyzed exactly once, and print as a table in argument order.
+//
+// Files larger than -maxmem — and stdin always — take the streaming
+// ingestion path: the netlist is parsed and analyzed gate by gate
+// (internal/ingest + analysis.AnalyzeStream) without ever materializing
+// its gate list, so circuits beyond RAM estimate in O(analysis) memory.
+// Streamed netlists must already be in the FT gate set (-decompose needs
+// the materialized gate list).
 //
 // Flags:
 //
@@ -24,6 +31,8 @@
 //	-truncation       E[S_q] term limit (default 20; -1 = exact)
 //	-no-congestion    disable the M/M/1 congestion model
 //	-decompose        lower non-FT gates before estimating
+//	-maxmem N         materialize .qc files up to N bytes; stream larger ones
+//	                  (and stdin) through the ingestion layer (default 64 MiB)
 //	-workers          sweep worker-pool size (default GOMAXPROCS)
 //	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
@@ -113,6 +122,7 @@ func run() error {
 		truncation   = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
 		noCongestion = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
 		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
+		maxMem       = flag.Int64("maxmem", 64<<20, "materialize .qc files up to this many bytes; stream larger ones (and stdin)")
 		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
@@ -126,7 +136,7 @@ func run() error {
 	flag.Var(&speeds, "speed", "qubit speed 𝓋; repeat to sweep speeds")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name> [more circuits...]")
+		return fmt.Errorf("usage: leqa [flags] <circuit.qc | benchmark-name | -> [more circuits...]")
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
@@ -168,8 +178,22 @@ func run() error {
 		defer cancel()
 	}
 
+	// Inputs split into materialized circuits and lazy stream sources.
+	// When every input is materialized the batch engine runs exactly as
+	// before; one streamed input switches the whole run to the source
+	// engine (materialized circuits ride along as in-memory streams).
 	circuits := make([]*leqa.Circuit, 0, flag.NArg())
+	sources := make([]leqa.Source, 0, flag.NArg())
+	streaming := false
 	for _, arg := range flag.Args() {
+		if src, ok, err := streamedInput(arg, *maxMem); err != nil {
+			return err
+		} else if ok {
+			sources = append(sources, src)
+			circuits = append(circuits, nil)
+			streaming = true
+			continue
+		}
 		c, err := loadOrGenerate(arg)
 		if err != nil {
 			return err
@@ -184,6 +208,7 @@ func run() error {
 			}
 		}
 		circuits = append(circuits, c)
+		sources = append(sources, leqa.CircuitSource(c))
 	}
 
 	// The parameter matrix: grids × capacities × speeds, each axis falling
@@ -217,7 +242,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cells, err := runner.SweepGrid(ctx, circuits, paramSets)
+	var cells []leqa.GridCell
+	if streaming {
+		cells, err = runner.SweepGridSources(ctx, sources, paramSets)
+	} else {
+		cells, err = runner.SweepGrid(ctx, circuits, paramSets)
+	}
 	if err != nil {
 		return err
 	}
@@ -324,4 +354,18 @@ func loadOrGenerate(arg string) (*leqa.Circuit, error) {
 		return leqa.Load(arg)
 	}
 	return leqa.Generate(arg)
+}
+
+// streamedInput reports whether arg should take the streaming ingestion
+// path — stdin ("-") always, .qc files above the materialization budget —
+// and builds its lazy source.
+func streamedInput(arg string, maxMem int64) (leqa.Source, bool, error) {
+	if arg == "-" {
+		return leqa.ReaderSource("stdin", os.Stdin, leqa.IngestOptions{}), true, nil
+	}
+	fi, err := os.Stat(arg)
+	if err != nil || fi.Size() <= maxMem {
+		return leqa.Source{}, false, nil
+	}
+	return leqa.FileSource(arg, leqa.IngestOptions{}), true, nil
 }

@@ -8,12 +8,14 @@
 //
 // Endpoints (see internal/server and leqa/client for the wire schema):
 //
-//	POST /v1/estimate    one circuit: JSON spec ({"generate": "shor-32"}) or raw .qc body
+//	POST /v1/estimate    one circuit: JSON spec ({"generate": "shor-32"}) or a
+//	                     raw .qc body, streamed gate-by-gate past -max-body
 //	POST /v1/sweep       many circuits, one parameter set; streams rows
 //	POST /v1/grid        circuits × paramSets; streams rows (NDJSON, or SSE
 //	                     when the request accepts text/event-stream)
 //	GET  /v1/benchmarks  generator catalog
 //	GET  /healthz        build info + zone-model cache statistics
+//	GET  /metrics        Prometheus-style per-endpoint request/row/latency
 //
 // Every request funnels through one shared leqa.Runner, so all estimates
 // reuse the process-wide memoized zone model. On SIGINT/SIGTERM the server
@@ -28,11 +30,20 @@
 //	-nc/-v/-tmove    base physical parameters requests overlay
 //	-truncation      E[S_q] term limit (0 = paper's 20, -1 = exact)
 //	-no-congestion   disable the M/M/1 congestion model
-//	-max-body        request body cap in bytes
+//	-max-body        JSON request body cap in bytes
+//	-max-spool       disk-spool cap for streamed raw .qc uploads (the 413
+//	                 limit for raw uploads; they never buffer in RAM)
+//	-spool-dir       directory receiving upload spools (default TMPDIR)
 //	-max-gates       per-circuit operation cap (post-decomposition)
 //	-max-cells       circuits × paramSets cap per batch
 //	-max-concurrent  simultaneous estimation requests before 429
 //	-drain           graceful-shutdown drain window
+//
+// Raw .qc uploads on /v1/estimate stream through internal/ingest: the
+// netlist is parsed gate by gate and spooled to disk for the analyzer's
+// second pass, so Transfer-Encoding: chunked uploads far beyond -max-body
+// estimate in O(analysis) memory. GET /metrics exposes Prometheus-style
+// per-endpoint request/row/latency series; /healthz keeps its JSON schema.
 package main
 
 import (
@@ -74,7 +85,9 @@ func run() error {
 		tmove         = flag.Float64("tmove", 100, "base per-hop move time T_move (µs)")
 		truncation    = flag.Int("truncation", 0, "E[S_q] term limit (0 = paper's 20, -1 = exact)")
 		noCongestion  = flag.Bool("no-congestion", false, "disable the M/M/1 congestion model")
-		maxBody       = flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body cap in bytes")
+		maxBody       = flag.Int64("max-body", server.DefaultMaxBodyBytes, "JSON request body cap in bytes")
+		maxSpool      = flag.Int64("max-spool", server.DefaultMaxSpoolBytes, "disk-spool cap for streamed raw .qc uploads")
+		spoolDir      = flag.String("spool-dir", "", "directory for upload spools (default TMPDIR)")
 		maxGates      = flag.Int("max-gates", server.DefaultMaxGates, "per-circuit operation cap")
 		maxCells      = flag.Int("max-cells", server.DefaultMaxCells, "circuits × paramSets cap per batch")
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous estimation requests")
@@ -101,6 +114,8 @@ func run() error {
 		Options:       leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion},
 		Workers:       *workers,
 		MaxBodyBytes:  *maxBody,
+		MaxSpoolBytes: *maxSpool,
+		SpoolDir:      *spoolDir,
 		MaxGates:      *maxGates,
 		MaxCells:      *maxCells,
 		MaxConcurrent: *maxConcurrent,

@@ -27,12 +27,28 @@ import (
 // under — the cross-product sweep engine computes one Analysis per circuit
 // and reuses it for every parameter set.
 type Analysis struct {
-	// Circuit is the analyzed netlist.
+	// Circuit is the analyzed netlist. It is nil for streamed analyses
+	// (AnalyzeStream), whose whole point is never materializing the gate
+	// list — consumers must use the metadata fields below, which both
+	// construction paths fill identically.
 	Circuit *circuit.Circuit
+	// Name labels the analyzed circuit.
+	Name string
+	// Qubits is the register size.
+	Qubits int
+	// Operations is the gate count.
+	Operations int
+	// FT reports whether every gate belongs to the fault-tolerant set —
+	// circuit.IsFT without the gate list.
+	FT bool
 	// QODG is the dependency graph (critical-path substrate, Eq. 1).
 	QODG *qodg.Graph
 	// IIG is the interaction graph (presence-zone substrate, Eq. 6–7).
 	IIG *iig.Graph
+
+	// lastWriter is the dependency scan's final per-qubit last-writer
+	// state (0 = start anchor) — the seed an Appender resumes from.
+	lastWriter []qodg.NodeID
 }
 
 // Analyze builds both graphs in one streaming pass over the gate list. The
@@ -81,12 +97,13 @@ func analyze(c *circuit.Circuit, ar *Arena) (*Analysis, error) {
 	n := len(nodes)
 	end := qodg.NodeID(n - 1)
 
-	// Combined counting pass: QODG in/out degrees and IIG incidence counts
-	// from the same walk of the gate stream.
+	// Combined counting pass: QODG in/out degrees, IIG incidence counts and
+	// FT-set membership from the same walk of the gate stream.
 	count := func(from, to qodg.NodeID) {
 		succDeg[from]++
 		predDeg[to]++
 	}
+	ft := true
 	for i, gate := range c.Gates {
 		switch gate.Arity() {
 		case 1:
@@ -99,6 +116,7 @@ func analyze(c *circuit.Circuit, ar *Arena) (*Analysis, error) {
 			return nil, fmt.Errorf("analysis: gate %d (%s) touches %d qubits; decompose first",
 				i, gate.Type, gate.Arity())
 		}
+		ft = ft && gate.Type.IsFT()
 		scan.VisitGate(qodg.NodeID(i+1), gate, count)
 	}
 	scan.VisitEnd(end, count)
@@ -142,16 +160,27 @@ func analyze(c *circuit.Circuit, ar *Arena) (*Analysis, error) {
 
 	if ar != nil {
 		qodg.FromCSRInto(&ar.qg, nodes, numQ, succOff, succ, predOff, pred)
+		ar.lastWriter = append(ar.lastWriter[:0], scan.Last()...)
 		ar.a = Analysis{
-			Circuit: c,
-			QODG:    &ar.qg,
-			IIG:     iig.FromIncidenceScratch(numQ, iigOff, iigNbr, &ar.igs),
+			Circuit:    c,
+			Name:       c.Name,
+			Qubits:     numQ,
+			Operations: len(c.Gates),
+			FT:         ft,
+			QODG:       &ar.qg,
+			IIG:        iig.FromIncidenceScratch(numQ, iigOff, iigNbr, &ar.igs),
+			lastWriter: ar.lastWriter,
 		}
 		return &ar.a, nil
 	}
 	return &Analysis{
-		Circuit: c,
-		QODG:    qodg.FromCSR(nodes, numQ, succOff, succ, predOff, pred),
-		IIG:     iig.FromIncidence(numQ, iigOff, iigNbr),
+		Circuit:    c,
+		Name:       c.Name,
+		Qubits:     numQ,
+		Operations: len(c.Gates),
+		FT:         ft,
+		QODG:       qodg.FromCSR(nodes, numQ, succOff, succ, predOff, pred),
+		IIG:        iig.FromIncidence(numQ, iigOff, iigNbr),
+		lastWriter: append([]qodg.NodeID(nil), scan.Last()...),
 	}, nil
 }

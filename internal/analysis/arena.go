@@ -28,9 +28,10 @@ type Arena struct {
 	succ, pred       []qodg.NodeID
 	iigOff, iigNbr   []int32
 
-	qg  qodg.Graph
-	igs iig.Scratch
-	a   Analysis
+	qg         qodg.Graph
+	igs        iig.Scratch
+	a          Analysis
+	lastWriter []qodg.NodeID
 
 	weights qodg.Weights
 	path    qodg.PathScratch

@@ -1,0 +1,189 @@
+package analysis_test
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/ingest"
+)
+
+// qcBytes renders a circuit back to .qc text, the wire format the streaming
+// equivalence tests push through ingest.
+func qcBytes(t testing.TB, c *circuit.Circuit) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := circuit.WriteQC(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// pipeReader hides the Seeker of an in-memory source so the scanner takes
+// the on-disk spool path, like a network body would.
+type pipeReader struct{ io.Reader }
+
+// TestAnalyzeStreamMatchesBatch is the tentpole equivalence check: across
+// the paper benchmarks, streamed ingestion + AnalyzeStream must produce
+// graphs topology-identical to the materialized Analyze and estimates that
+// are bitwise identical — through the seekable rewind path, the spooled
+// pipe path, and the in-memory CircuitStream adapter.
+func TestAnalyzeStreamMatchesBatch(t *testing.T) {
+	est, err := core.New(fabric.Default(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range suite(t) {
+		c := ftCircuit(t, name)
+		want, err := analysis.Analyze(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantRes, err := est.EstimateAnalysis(want)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		qc := qcBytes(t, c)
+
+		streams := map[string]analysis.GateStream{
+			"seekable": ingest.NewScanner(bytes.NewReader(qc), c.Name, ingest.Options{}),
+			"circuit":  analysis.NewCircuitStream(c),
+		}
+		// Spooling every benchmark writes hundreds of MB of temp files;
+		// cover the pipe path on the smaller half of the suite.
+		if len(qc) < 4<<20 {
+			streams["spooled"] = ingest.NewScanner(pipeReader{bytes.NewReader(qc)}, c.Name, ingest.Options{})
+		}
+		for label, src := range streams {
+			got, err := analysis.AnalyzeStream(src)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, label, err)
+			}
+			if got.Circuit != nil {
+				t.Errorf("%s/%s: streamed analysis retained a Circuit", name, label)
+			}
+			if got.Name != c.Name || got.Qubits != want.Qubits || got.Operations != want.Operations || got.FT != want.FT {
+				t.Fatalf("%s/%s: metadata %q/%d/%d/%v, want %q/%d/%d/%v", name, label,
+					got.Name, got.Qubits, got.Operations, got.FT,
+					want.Name, want.Qubits, want.Operations, want.FT)
+			}
+			assertQODGEqual(t, name+"/"+label, got.QODG, want.QODG)
+			assertIIGEqual(t, name+"/"+label, got.IIG, want.IIG)
+			gotRes, err := est.EstimateAnalysis(got)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, label, err)
+			}
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Errorf("%s/%s: streamed estimate diverges from batch:\nstream: %.17g µs\nbatch:  %.17g µs",
+					name, label, gotRes.EstimatedLatency, wantRes.EstimatedLatency)
+			}
+			if cl, ok := src.(io.Closer); ok {
+				cl.Close()
+			}
+		}
+	}
+}
+
+// TestArenaAnalyzeStream runs the arena-backed streamed analysis across
+// circuits of different shapes through one recycled arena.
+func TestArenaAnalyzeStream(t *testing.T) {
+	est, err := core.New(fabric.Default(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := analysis.NewArena()
+	fresh := make([]*core.Result, len(arenaSuite))
+	arena := make([]*core.Result, len(arenaSuite))
+	for i, name := range arenaSuite {
+		c := ftCircuit(t, name)
+		want, err := analysis.Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ingest.NewScanner(bytes.NewReader(qcBytes(t, c)), c.Name, ingest.Options{})
+		got, err := ar.AnalyzeStream(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertQODGEqual(t, name, got.QODG, want.QODG)
+		assertIIGEqual(t, name, got.IIG, want.IIG)
+		if fresh[i], err = est.EstimateAnalysis(want); err != nil {
+			t.Fatal(err)
+		}
+		// Estimate through the same arena while the analysis borrows it.
+		if arena[i], err = est.EstimateAnalysisArena(got, ar); err != nil {
+			t.Fatal(err)
+		}
+		sc.Close()
+	}
+	for i, name := range arenaSuite {
+		if !reflect.DeepEqual(arena[i], fresh[i]) {
+			t.Errorf("%s: arena streamed estimate diverges from fresh batch", name)
+		}
+	}
+}
+
+// TestEstimateStreamNonFT proves the streaming FT guard fails with the same
+// error the batch precondition produces, and that a wide non-FT gate
+// reports non-FT (not arity) — the batch path's failure priority.
+func TestEstimateStreamNonFT(t *testing.T) {
+	est, err := core.New(fabric.Default(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("nonft", 3)
+	c.Append(circuit.NewCNOT(0, 1), circuit.NewToffoli(0, 1, 2))
+	wantErr := ""
+	if _, err := est.Estimate(c); err != nil {
+		wantErr = err.Error()
+	} else {
+		t.Fatal("batch estimate of non-FT circuit succeeded")
+	}
+	_, err = est.EstimateStream(analysis.NewCircuitStream(c))
+	if err == nil || err.Error() != wantErr {
+		t.Fatalf("streamed non-FT error = %v, want %q", err, wantErr)
+	}
+}
+
+// TestAnalyzeStreamEdgeCases mirrors TestAnalyzeEdgeCases over the
+// streaming path, including the empty circuit.
+func TestAnalyzeStreamEdgeCases(t *testing.T) {
+	cases := []*circuit.Circuit{
+		circuit.New("empty", 1),
+		circuit.New("idle", 4),
+	}
+	dup := circuit.New("dup-pairs", 3)
+	dup.Append(
+		circuit.NewCNOT(0, 1), circuit.NewCNOT(1, 0), circuit.NewCNOT(0, 1),
+		circuit.NewSwap(1, 2), circuit.NewOneQubit(circuit.H, 2),
+	)
+	cases = append(cases, dup)
+	for _, c := range cases {
+		want, err := analysis.Analyze(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		sc := ingest.NewScanner(bytes.NewReader(qcBytes(t, c)), c.Name, ingest.Options{})
+		got, err := analysis.AnalyzeStream(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		assertQODGEqual(t, c.Name, got.QODG, want.QODG)
+		assertIIGEqual(t, c.Name, got.IIG, want.IIG)
+		sc.Close()
+	}
+}
+
+// TestAnalyzeStreamRejectsWideGates mirrors the batch arity rejection.
+func TestAnalyzeStreamRejectsWideGates(t *testing.T) {
+	c := circuit.New("wide", 3)
+	c.Append(circuit.NewToffoli(0, 1, 2))
+	if _, err := analysis.AnalyzeStream(analysis.NewCircuitStream(c)); err == nil {
+		t.Error("want error for 3-qubit gate")
+	}
+}

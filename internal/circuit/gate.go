@@ -169,6 +169,17 @@ func NewSwap(a, b int) Gate {
 	return Gate{Type: Swap, Targets: []int{a, b}}
 }
 
+// Clone returns a deep copy of the gate: the operand slices are freshly
+// allocated, so the copy stays valid after the source's backing arrays are
+// reused (LineParser and the ingest scanner emit borrowed gates).
+func (g Gate) Clone() Gate {
+	return Gate{
+		Type:     g.Type,
+		Controls: append([]int(nil), g.Controls...),
+		Targets:  append([]int(nil), g.Targets...),
+	}
+}
+
 // Qubits returns every qubit index the gate touches, controls first.
 // The result is freshly allocated.
 func (g Gate) Qubits() []int {

@@ -28,145 +28,29 @@ import (
 // Gate mnemonics are case-insensitive; qubit names are case-sensitive.
 
 // ParseQC reads a circuit in .qc format. name labels the returned circuit
-// (typically the file basename).
+// (typically the file basename). Parse failures are *SyntaxError values
+// carrying line (and usually column) context. The statement-level work —
+// tokenizing, directives, gate assembly, validation — lives in LineParser,
+// which the streaming ingest scanner shares, so the two front ends accept
+// exactly the same dialect and emit exactly the same diagnostics.
 func ParseQC(r io.Reader, name string) (*Circuit, error) {
-	c := &Circuit{Name: name, byName: make(map[string]int)}
+	p := NewLineParser(name)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineno := 0
-	inBody := false
+	c := p.Register()
 	for sc.Scan() {
-		lineno++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		head := fields[0]
-		switch {
-		case strings.EqualFold(head, "BEGIN"):
-			inBody = true
-			continue
-		case strings.EqualFold(head, "END"):
-			inBody = false
-			continue
-		case head == ".v":
-			for _, q := range fields[1:] {
-				c.AddQubit(q)
-			}
-			continue
-		case head == ".i", head == ".o", head == ".c", head == ".ol":
-			// Input/output/constant declarations are informational.
-			continue
-		}
-		if !inBody {
-			return nil, fmt.Errorf("%s:%d: statement %q outside BEGIN/END", name, lineno, head)
-		}
-		g, err := parseGateLine(c, fields)
+		g, ok, err := p.Next(sc.Text())
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", name, lineno, err)
+			return nil, err
 		}
-		c.Gates = append(c.Gates, g)
+		if ok {
+			c.Gates = append(c.Gates, g.Clone())
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
 	return c, nil
-}
-
-func parseGateLine(c *Circuit, fields []string) (Gate, error) {
-	mnemonic := fields[0]
-	args := make([]int, 0, len(fields)-1)
-	for _, nameArg := range fields[1:] {
-		idx, ok := c.byName[nameArg]
-		if !ok {
-			// Auto-declare unseen qubits; real benchmark files sometimes
-			// omit ancillae from .v.
-			idx = c.AddQubit(nameArg)
-		}
-		args = append(args, idx)
-	}
-	upper := strings.ToUpper(mnemonic)
-	switch upper {
-	case "H", "T", "S", "X", "Y", "Z", "T*", "S*", "TDG", "SDG", "NOT", "CNOT", "TOF", "FRE", "SWAP":
-		return buildNamedGate(upper, args)
-	}
-	// tN / fN forms.
-	if len(upper) >= 2 && (upper[0] == 'T' || upper[0] == 'F') {
-		var n int
-		if _, err := fmt.Sscanf(upper[1:], "%d", &n); err == nil {
-			if n != len(args) {
-				return Gate{}, fmt.Errorf("gate %s: want %d operands, have %d", mnemonic, n, len(args))
-			}
-			if upper[0] == 'T' {
-				return NewMCT(args[:n-1], args[n-1]), nil
-			}
-			// Fredkin family: last two operands are the swapped pair.
-			if n < 3 {
-				return Gate{}, fmt.Errorf("gate %s: fredkin needs ≥3 operands", mnemonic)
-			}
-			if n == 3 {
-				return NewFredkin(args[0], args[1], args[2]), nil
-			}
-			cs := append([]int(nil), args[:n-2]...)
-			return Gate{Type: MCF, Controls: cs, Targets: []int{args[n-2], args[n-1]}}, nil
-		}
-	}
-	return Gate{}, fmt.Errorf("unknown gate mnemonic %q", mnemonic)
-}
-
-func buildNamedGate(upper string, args []int) (Gate, error) {
-	oneQ := func(t GateType) (Gate, error) {
-		if len(args) != 1 {
-			return Gate{}, fmt.Errorf("gate %s: want 1 operand, have %d", upper, len(args))
-		}
-		return NewOneQubit(t, args[0]), nil
-	}
-	switch upper {
-	case "H":
-		return oneQ(H)
-	case "T":
-		return oneQ(T)
-	case "T*", "TDG":
-		return oneQ(Tdg)
-	case "S":
-		return oneQ(S)
-	case "S*", "SDG":
-		return oneQ(Sdg)
-	case "X", "NOT":
-		return oneQ(X)
-	case "Y":
-		return oneQ(Y)
-	case "Z":
-		return oneQ(Z)
-	case "CNOT":
-		if len(args) != 2 {
-			return Gate{}, fmt.Errorf("gate CNOT: want 2 operands, have %d", len(args))
-		}
-		return NewCNOT(args[0], args[1]), nil
-	case "TOF":
-		if len(args) != 3 {
-			return Gate{}, fmt.Errorf("gate TOF: want 3 operands, have %d", len(args))
-		}
-		return NewToffoli(args[0], args[1], args[2]), nil
-	case "FRE":
-		if len(args) != 3 {
-			return Gate{}, fmt.Errorf("gate FRE: want 3 operands, have %d", len(args))
-		}
-		return NewFredkin(args[0], args[1], args[2]), nil
-	case "SWAP":
-		if len(args) != 2 {
-			return Gate{}, fmt.Errorf("gate SWAP: want 2 operands, have %d", len(args))
-		}
-		return NewSwap(args[0], args[1]), nil
-	}
-	return Gate{}, fmt.Errorf("unknown gate %q", upper)
 }
 
 // WriteQC renders the circuit in .qc format.
@@ -216,6 +100,17 @@ func qcMnemonic(g Gate) string {
 	}
 }
 
+// QCBaseName derives a circuit name from a .qc path: basename with the
+// .qc suffix trimmed — the one naming rule every file-backed entry point
+// (LoadQCFile, ingest.Open, leqa.FileSource) shares.
+func QCBaseName(path string) string {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimSuffix(name, ".qc")
+}
+
 // LoadQCFile parses a .qc file from disk, naming the circuit after the file.
 func LoadQCFile(path string) (*Circuit, error) {
 	f, err := os.Open(path)
@@ -223,12 +118,7 @@ func LoadQCFile(path string) (*Circuit, error) {
 		return nil, err
 	}
 	defer f.Close()
-	name := path
-	if i := strings.LastIndexByte(name, '/'); i >= 0 {
-		name = name[i+1:]
-	}
-	name = strings.TrimSuffix(name, ".qc")
-	return ParseQC(f, name)
+	return ParseQC(f, QCBaseName(path))
 }
 
 // SaveQCFile writes the circuit to disk in .qc format.

@@ -7,11 +7,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/fabric"
 	"repro/internal/iig"
+	"repro/internal/ingest"
 	"repro/internal/qodg"
 	"repro/internal/tsp"
 	"repro/internal/zonemodel"
@@ -94,18 +96,125 @@ func New(p fabric.Params, opt Options) (*Estimator, error) {
 	return &Estimator{Params: p, Options: opt}, nil
 }
 
+// NonFTError reports a circuit (or gate stream) containing gates outside
+// the fault-tolerant set. Its message matches the historical precondition
+// failure; callers that want to react (the service's decompose fallback)
+// detect it with errors.As.
+type NonFTError struct {
+	// Circuit names the offending netlist.
+	Circuit string
+	// Gate is the index of the first non-FT gate when known (streaming
+	// detection), -1 otherwise.
+	Gate int
+	// Type is the offending gate type when known (circuit.Invalid
+	// otherwise).
+	Type circuit.GateType
+}
+
+func (e *NonFTError) Error() string {
+	return fmt.Sprintf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", e.Circuit)
+}
+
+func ftErr(name string) error { return &NonFTError{Circuit: name, Gate: -1} }
+
 // Estimate runs Algorithm 1 on an FT circuit.
 func (e *Estimator) Estimate(c *circuit.Circuit) (*Result, error) {
 	if !c.IsFT() {
-		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+		return nil, ftErr(c.Name)
 	}
 	// Line 1: one fused pass builds the IIG and the QODG used at line 19.
 	a, err := analysis.Analyze(c)
 	if err != nil {
 		return nil, err
 	}
-	return e.estimate(c, a.QODG, a.IIG, nil)
+	return e.estimate(a.Qubits, a.Operations, a.QODG, a.IIG, nil)
 }
+
+// EstimateStream runs Algorithm 1 on a streamed netlist: the fused analysis
+// passes consume the gate stream directly (analysis.AnalyzeStream), so the
+// circuit's gate list is never materialized and peak memory is the analysis
+// product plus one ingest chunk. The FT precondition is enforced gate by
+// gate as the stream flows; results are bitwise identical to Estimate on
+// the materialized circuit.
+func (e *Estimator) EstimateStream(src analysis.GateStream) (*Result, error) {
+	return e.EstimateStreamArena(src, nil)
+}
+
+// EstimateStreamArena is EstimateStream with every analysis and estimate
+// buffer drawn from ar — the steady-state ingestion path of a pooled
+// worker. A nil arena allocates fresh storage.
+func (e *Estimator) EstimateStreamArena(src analysis.GateStream, ar *analysis.Arena) (*Result, error) {
+	guard := &ftGuard{src: src}
+	var (
+		a   *analysis.Analysis
+		err error
+	)
+	if ar != nil {
+		a, err = ar.AnalyzeStream(guard)
+	} else {
+		a, err = analysis.AnalyzeStream(guard)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e.estimate(a.Qubits, a.Operations, a.QODG, a.IIG, ar)
+}
+
+// EstimateReader runs Algorithm 1 on a .qc netlist read from r, streamed
+// through internal/ingest under opt (chunk size, spool placement and cap).
+// name labels the circuit in results and diagnostics.
+func (e *Estimator) EstimateReader(r io.Reader, name string, opt ingest.Options) (*Result, error) {
+	sc := ingest.NewScanner(r, name, opt)
+	defer sc.Close()
+	return e.EstimateStream(sc)
+}
+
+// ftGuard enforces the FT-gate-set precondition on a flowing stream: the
+// first non-FT gate stops the scan with a NonFTError, before the analysis
+// layer ever sees the gate — the same failure priority as the batch path's
+// up-front IsFT check.
+type ftGuard struct {
+	src  analysis.GateStream
+	idx  int
+	err  error
+	gate circuit.Gate
+}
+
+func (f *ftGuard) Scan() bool {
+	if f.err != nil {
+		return false
+	}
+	if !f.src.Scan() {
+		return false
+	}
+	f.gate = f.src.Gate()
+	if !f.gate.Type.IsFT() {
+		f.err = &NonFTError{Circuit: f.src.Name(), Gate: f.idx, Type: f.gate.Type}
+		return false
+	}
+	f.idx++
+	return true
+}
+
+func (f *ftGuard) Gate() circuit.Gate { return f.gate }
+
+func (f *ftGuard) Err() error {
+	if f.err != nil {
+		return f.err
+	}
+	return f.src.Err()
+}
+
+func (f *ftGuard) Rewind() error {
+	if f.err != nil {
+		return f.err
+	}
+	f.idx = 0
+	return f.src.Rewind()
+}
+
+func (f *ftGuard) NumQubits() int { return f.src.NumQubits() }
+func (f *ftGuard) Name() string   { return f.src.Name() }
 
 // EstimateArena is Estimate through a reusable arena: the fused analysis
 // pass, the weight vector and the critical-path sweep all run in ar's
@@ -114,48 +223,51 @@ func (e *Estimator) Estimate(c *circuit.Circuit) (*Result, error) {
 // aliases arena memory) and is bitwise identical to Estimate's.
 func (e *Estimator) EstimateArena(c *circuit.Circuit, ar *analysis.Arena) (*Result, error) {
 	if !c.IsFT() {
-		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+		return nil, ftErr(c.Name)
 	}
 	a, err := ar.Analyze(c)
 	if err != nil {
 		return nil, err
 	}
-	return e.estimate(c, a.QODG, a.IIG, ar)
+	return e.estimate(a.Qubits, a.Operations, a.QODG, a.IIG, ar)
 }
 
 // EstimateAnalysis runs Algorithm 1 on a previously analyzed circuit — the
 // path batch sweeps use to amortize one Analyze across many parameter sets.
 func (e *Estimator) EstimateAnalysis(a *analysis.Analysis) (*Result, error) {
-	return e.EstimateGraphs(a.Circuit, a.QODG, a.IIG)
+	return e.EstimateAnalysisArena(a, nil)
 }
 
 // EstimateAnalysisArena is EstimateAnalysis with the estimate-phase scratch
 // (weights, longest-path state) drawn from ar. The analysis itself may be a
-// shared immutable one or arena-borrowed; only its graphs are read.
+// shared immutable one or arena-borrowed; only its graphs and metadata are
+// read, so streamed analyses (Circuit == nil) work identically.
 func (e *Estimator) EstimateAnalysisArena(a *analysis.Analysis, ar *analysis.Arena) (*Result, error) {
-	if !a.Circuit.IsFT() {
-		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", a.Circuit.Name)
+	if !a.FT {
+		return nil, ftErr(a.Name)
 	}
-	return e.estimate(a.Circuit, a.QODG, a.IIG, ar)
+	return e.estimate(a.Qubits, a.Operations, a.QODG, a.IIG, ar)
 }
 
 // EstimateGraphs is Estimate for callers that already built the graphs.
 func (e *Estimator) EstimateGraphs(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph) (*Result, error) {
 	if !c.IsFT() {
-		return nil, fmt.Errorf("leqa: circuit %q contains non-FT gates; run decompose.ToFT first", c.Name)
+		return nil, ftErr(c.Name)
 	}
-	return e.estimate(c, g, ig, nil)
+	return e.estimate(c.NumQubits(), c.NumGates(), g, ig, nil)
 }
 
-// estimate runs Algorithm 1 over prebuilt graphs. ar, when non-nil, donates
+// estimate runs Algorithm 1 over prebuilt graphs; qubits and operations
+// echo the workload size into the Result (the gate list itself is not
+// needed — streamed analyses never have one). ar, when non-nil, donates
 // the weight vector and longest-path scratch; the math is identical either
 // way, so arena and fresh runs produce bitwise-equal Results.
-func (e *Estimator) estimate(c *circuit.Circuit, g *qodg.Graph, ig *iig.Graph, ar *analysis.Arena) (*Result, error) {
+func (e *Estimator) estimate(qubits, operations int, g *qodg.Graph, ig *iig.Graph, ar *analysis.Arena) (*Result, error) {
 	p := e.Params
 	res := &Result{
 		LOneQubitAvg: p.OneQubitRouting(),
-		Qubits:       c.NumQubits(),
-		Operations:   c.NumGates(),
+		Qubits:       qubits,
+		Operations:   operations,
 	}
 
 	// Lines 2–3: B_i = M_i + 1 (Eq. 6), B = weighted average (Eq. 7).

@@ -3,25 +3,26 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/internal/benchgen"
+	"repro/internal/ingest"
 	"repro/internal/pool"
 	"repro/leqa"
 	"repro/leqa/client"
 )
 
 // handleEstimate runs one circuit — JSON spec body or raw .qc upload — and
-// replies with its flat result record.
+// replies with its flat result record. Raw uploads take the streaming
+// ingestion path (handleEstimateQC); JSON specs resolve in memory.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req client.EstimateRequest
-	var err error
-	if isJSONRequest(r) {
-		err = s.decodeJSON(w, r, &req)
-	} else {
-		req, err = s.estimateRequestFromQC(w, r)
+	if !isJSONRequest(r) {
+		s.handleEstimateQC(w, r)
+		return
 	}
-	if err != nil {
+	var req client.EstimateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -53,8 +54,144 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, cells[0].Err)
 		return
 	}
+	s.endpoints["estimate"].rows.Add(1)
 	writeJSON(w, http.StatusOK, cells[0].Record())
 }
+
+// handleEstimateQC estimates a raw .qc upload through the streaming
+// ingestion path: the body is tokenized gate by gate and spooled to disk —
+// not RAM — for the analyzer's second pass, so a chunked upload far past
+// MaxBodyBytes estimates in O(analysis) memory. The 413 limit for raw
+// uploads is the disk-spool cap (MaxSpoolBytes); MaxBodyBytes keeps
+// bounding the JSON endpoints and the materialized decompose fallback.
+func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ps, err := paramSpecFromQuery(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	decompose, err := decomposeFromQuery(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p, err := s.paramsFromSpec(ps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "uploaded"
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	sc := ingest.NewScanner(r.Body, name, ingest.Options{
+		SpoolDir:      s.cfg.SpoolDir,
+		MaxSpoolBytes: s.cfg.MaxSpoolBytes,
+	})
+	defer sc.Close()
+	capped := &gateCapStream{src: sc, max: s.cfg.MaxGates}
+	res, err := s.runner.EstimateStreamWith(ctx, capped, p)
+	if err != nil {
+		var nft *leqa.NonFTError
+		if errors.As(err, &nft) && decompose {
+			res, err = s.tryDecomposeFallback(ctx, sc, name, p)
+		}
+		if err != nil {
+			writeError(w, classifyStreamErr(err))
+			return
+		}
+	}
+	if sc.BytesRead() == 0 {
+		writeError(w, badRequest("empty .qc body"))
+		return
+	}
+	if sp := sc.SpooledBytes(); sp > 0 {
+		s.spooledUploads.Add(1)
+		s.spooledBytes.Add(uint64(sp))
+	}
+	s.endpoints["estimate"].rows.Add(1)
+	cell := leqa.GridCell{Name: name, Params: p, Result: res}
+	writeJSON(w, http.StatusOK, cell.Record())
+}
+
+// tryDecomposeFallback handles a stream that turned out non-FT: netlists
+// up to MaxBodyBytes — the cap that bounded materialized uploads before
+// streaming existed — take the materialized decompose path; larger ones
+// are refused. The scan may have stopped at the first non-FT gate with
+// most of the body unread, so the true size is only known after finishing
+// the spool (disk, still bounded by MaxSpoolBytes): materialization is
+// gated on that total, never on the bytes consumed so far.
+func (s *Server) tryDecomposeFallback(ctx context.Context, sc *ingest.Scanner, name string, p leqa.Params) (*leqa.EstimateResult, error) {
+	if err := sc.Rewind(); err != nil {
+		return nil, err
+	}
+	if sc.BytesRead() > s.cfg.MaxBodyBytes {
+		return nil, fmt.Errorf("circuit %q has non-FT gates and its %d-byte netlist exceeds the %d-byte in-memory decomposition cap; upload an FT netlist",
+			name, sc.BytesRead(), s.cfg.MaxBodyBytes)
+	}
+	c, err := sc.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if c, err = leqa.Decompose(c); err != nil {
+		return nil, err
+	}
+	if c.NumGates() > s.cfg.MaxGates {
+		return nil, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+			c.Name, c.NumGates(), s.cfg.MaxGates)
+	}
+	cells, err := s.runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
+	if len(cells) == 0 {
+		return nil, err
+	}
+	return cells[0].Result, cells[0].Err
+}
+
+// gateCapStream stops a flowing stream once it exceeds the per-circuit
+// operation cap, before the analysis layer buys storage for the excess.
+type gateCapStream struct {
+	src leqa.GateStream
+	max int
+	n   int
+	err error
+}
+
+func (g *gateCapStream) Scan() bool {
+	if g.err != nil {
+		return false
+	}
+	if !g.src.Scan() {
+		return false
+	}
+	if g.n++; g.n > g.max {
+		g.err = fmt.Errorf("circuit %q exceeds the server cap of %d operations", g.src.Name(), g.max)
+		return false
+	}
+	return true
+}
+
+func (g *gateCapStream) Gate() leqa.Gate { return g.src.Gate() }
+
+func (g *gateCapStream) Err() error {
+	if g.err != nil {
+		return g.err
+	}
+	return g.src.Err()
+}
+
+func (g *gateCapStream) Rewind() error {
+	if g.err != nil {
+		return g.err
+	}
+	g.n = 0
+	return g.src.Rewind()
+}
+
+func (g *gateCapStream) NumQubits() int { return g.src.NumQubits() }
+func (g *gateCapStream) Name() string   { return g.src.Name() }
 
 // handleSweep streams one row per circuit under a single parameter set.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -68,7 +205,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.streamBatch(w, r, req.Circuits, []leqa.Params{p}, req.Options)
+	s.streamBatch(w, r, "sweep", req.Circuits, []leqa.Params{p}, req.Options)
 }
 
 // handleGrid streams the circuits × paramSets cross product.
@@ -83,14 +220,14 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.streamBatch(w, r, req.Circuits, sets, req.Options)
+	s.streamBatch(w, r, "grid", req.Circuits, sets, req.Options)
 }
 
 // streamBatch is the shared sweep/grid path: resolve the circuit specs,
 // stream engine cells in input order as they complete, and interleave error
 // rows for specs that never became circuits — a bad row never aborts the
 // batch.
-func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, specs []client.CircuitSpec, paramSets []leqa.Params, opts *client.OptionsSpec) {
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint string, specs []client.CircuitSpec, paramSets []leqa.Params, opts *client.OptionsSpec) {
 	if len(specs) == 0 {
 		writeError(w, badRequest("request needs at least one circuit"))
 		return
@@ -148,7 +285,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, specs []cli
 		}
 	}
 	enc := newRowEncoder(w, r)
-	st := &batchStream{s: s, enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig}
+	st := &batchStream{s: s, em: s.endpoints[endpoint], enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig}
 	err = runner.SweepGridStream(ctx, good, paramSets, st.engineCell)
 	if err == nil {
 		err = st.finish()
@@ -176,6 +313,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, specs []cli
 // owes its rows first.
 type batchStream struct {
 	s           *Server
+	em          *endpointMetrics
 	enc         rowEncoder
 	paramSets   []leqa.Params
 	resolveErrs []error // per original spec; nil for resolved circuits
@@ -234,6 +372,7 @@ func (b *batchStream) emit(cell leqa.GridCell) error {
 	}
 	b.rows++
 	b.s.rowsStreamed.Add(1)
+	b.em.rows.Add(1)
 	if b.s.cfg.FlushHook != nil {
 		b.s.cfg.FlushHook(b.rows)
 	}

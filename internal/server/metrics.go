@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/leqa"
+)
+
+// handleMetrics serves the Prometheus text exposition format (hand-rolled —
+// the service carries no client library): per-endpoint request, streamed-row
+// and request-duration series, plus the process-wide batch, spool and
+// zone-model-cache counters /healthz also reports. /healthz keeps its JSON
+// schema untouched; /metrics is the scrape surface.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	fmt.Fprintf(bw, "# HELP leqad_requests_total Requests received, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_requests_total counter\n")
+	for _, name := range metricsEndpoints {
+		fmt.Fprintf(bw, "leqad_requests_total{endpoint=%q} %d\n", name, s.endpoints[name].requests.Load())
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_rows_streamed_total Result rows delivered, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_rows_streamed_total counter\n")
+	for _, name := range estimationEndpoints() {
+		fmt.Fprintf(bw, "leqad_rows_streamed_total{endpoint=%q} %d\n", name, s.endpoints[name].rows.Load())
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_request_duration_seconds Duration of successfully answered estimation requests, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_request_duration_seconds histogram\n")
+	for _, name := range estimationEndpoints() {
+		writeHistogram(bw, "leqad_request_duration_seconds", name, &s.endpoints[name].latency)
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_batches_canceled_total Batches ended early by cancellation or disconnect.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_batches_canceled_total counter\n")
+	fmt.Fprintf(bw, "leqad_batches_canceled_total %d\n", s.batchesCanceled.Load())
+
+	fmt.Fprintf(bw, "# HELP leqad_spooled_uploads_total Raw .qc uploads that went through the disk spool.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_spooled_uploads_total counter\n")
+	fmt.Fprintf(bw, "leqad_spooled_uploads_total %d\n", s.spooledUploads.Load())
+	fmt.Fprintf(bw, "# HELP leqad_spooled_bytes_total Netlist bytes written to upload spools.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_spooled_bytes_total counter\n")
+	fmt.Fprintf(bw, "leqad_spooled_bytes_total %d\n", s.spooledBytes.Load())
+
+	st := leqa.ZoneModelCacheStats()
+	for _, c := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"leqad_zone_model_cache_hits_total", "Zone-model memo hits.", st.Hits},
+		{"leqad_zone_model_cache_misses_total", "Zone-model memo misses.", st.Misses},
+		{"leqad_zone_model_cache_evictions_total", "Zone-model memo evictions.", st.Evictions},
+	} {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	fmt.Fprintf(bw, "# HELP leqad_zone_model_cache_entries Zone-model memo resident entries.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_zone_model_cache_entries gauge\n")
+	fmt.Fprintf(bw, "leqad_zone_model_cache_entries %d\n", st.Entries)
+
+	fmt.Fprintf(bw, "# HELP leqad_workers Estimation worker-pool size.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_workers gauge\n")
+	fmt.Fprintf(bw, "leqad_workers %d\n", s.runner.Workers())
+	fmt.Fprintf(bw, "# HELP leqad_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_uptime_seconds gauge\n")
+	fmt.Fprintf(bw, "leqad_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}
+
+// estimationEndpoints returns the endpoints that carry rows and latency.
+func estimationEndpoints() []string { return metricsEndpoints[:3] }
+
+// writeHistogram renders one latencyRecorder as a cumulative Prometheus
+// histogram. The recorder's buckets are non-cumulative and lock-free, so a
+// scrape racing live updates can be off by in-flight observations — the
+// standard tolerance for atomically maintained histograms.
+func writeHistogram(bw *bufio.Writer, metric, endpoint string, l *latencyRecorder) {
+	cum := uint64(0)
+	for i, bound := range latencyBucketBounds {
+		cum += l.buckets[i].Load()
+		fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=%q} %d\n", metric, endpoint, formatSeconds(bound), cum)
+	}
+	cum += l.buckets[len(latencyBucketBounds)].Load()
+	fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", metric, endpoint, cum)
+	fmt.Fprintf(bw, "%s_sum{endpoint=%q} %g\n", metric, endpoint, float64(l.sumNanos.Load())/1e9)
+	fmt.Fprintf(bw, "%s_count{endpoint=%q} %d\n", metric, endpoint, l.count.Load())
+}
+
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}

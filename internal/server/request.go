@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"mime"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
 	"repro/internal/benchgen"
+	"repro/internal/ingest"
 	"repro/leqa"
 	"repro/leqa/client"
 )
@@ -199,21 +200,10 @@ func isJSONRequest(r *http.Request) bool {
 	return err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json"))
 }
 
-// estimateRequestFromQC assembles an EstimateRequest from a raw .qc upload:
-// netlist in the body, name and parameter overrides in the query string.
-func (s *Server) estimateRequestFromQC(w http.ResponseWriter, r *http.Request) (client.EstimateRequest, error) {
-	var req client.EstimateRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, err := io.ReadAll(body)
-	if err != nil {
-		return req, classifyBodyErr(err)
-	}
-	if len(raw) == 0 {
-		return req, badRequest("empty .qc body")
-	}
-	req.QC = string(raw)
-	q := r.URL.Query()
-	req.Name = q.Get("name")
+// paramSpecFromQuery assembles the parameter overlay of a raw .qc upload
+// from its query string (the body is the netlist itself). A nil spec means
+// no overrides.
+func paramSpecFromQuery(q url.Values) (*client.ParamSpec, error) {
 	var ps client.ParamSpec
 	havePs := false
 	if g := q.Get("grid"); g != "" {
@@ -222,26 +212,50 @@ func (s *Server) estimateRequestFromQC(w http.ResponseWriter, r *http.Request) (
 	if v := q.Get("nc"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return req, badRequest("query nc=%q: %v", v, err)
+			return nil, badRequest("query nc=%q: %v", v, err)
 		}
 		ps.ChannelCapacity, havePs = &n, true
 	}
 	if v := q.Get("v"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			return req, badRequest("query v=%q: %v", v, err)
+			return nil, badRequest("query v=%q: %v", v, err)
 		}
 		ps.QubitSpeed, havePs = &f, true
 	}
 	if v := q.Get("tmove"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			return req, badRequest("query tmove=%q: %v", v, err)
+			return nil, badRequest("query tmove=%q: %v", v, err)
 		}
 		ps.TMove, havePs = &f, true
 	}
-	if havePs {
-		req.Params = &ps
+	if !havePs {
+		return nil, nil
 	}
-	return req, nil
+	return &ps, nil
+}
+
+// decomposeFromQuery reads the raw-upload decompose knob (default true,
+// matching the JSON OptionsSpec default).
+func decomposeFromQuery(q url.Values) (bool, error) {
+	v := q.Get("decompose")
+	if v == "" {
+		return true, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, badRequest("query decompose=%q: %v", v, err)
+	}
+	return b, nil
+}
+
+// classifyStreamErr maps streaming-ingestion failures to statuses: an
+// exceeded spool cap is 413 (the raw-upload successor of the body cap),
+// everything else keeps writeError's default classification.
+func classifyStreamErr(err error) error {
+	if errors.Is(err, ingest.ErrSpoolLimit) {
+		return &statusError{code: http.StatusRequestEntityTooLarge, msg: err.Error()}
+	}
+	return err
 }

@@ -9,6 +9,13 @@
 //	POST /v1/grid        circuits × paramSets cross product → streamed rows
 //	GET  /v1/benchmarks  generator catalog
 //	GET  /healthz        build info + zone-model cache statistics
+//	GET  /metrics        Prometheus-style per-endpoint request/row/latency
+//
+// Raw .qc uploads stream through internal/ingest: gates are parsed and
+// analyzed as the body flows, with an on-disk spool (never RAM) backing the
+// analyzer's second pass, so chunked uploads far past MaxBodyBytes estimate
+// in O(analysis) memory under the MaxSpoolBytes disk cap (the 413 limit for
+// raw uploads).
 //
 // The batch endpoints stream one leqa.ResultRecord per row — NDJSON by
 // default, server-sent events when the client asks for text/event-stream —
@@ -40,6 +47,10 @@ const (
 	DefaultMaxGates      = 2_000_000
 	DefaultMaxCells      = 4096
 	DefaultMaxConcurrent = 16
+	// DefaultMaxSpoolBytes caps the on-disk spool a streamed raw .qc
+	// upload may occupy — the streaming successor of MaxBodyBytes, which
+	// bounds RAM. 256 MiB of netlist is ~10M operations.
+	DefaultMaxSpoolBytes = 256 << 20
 )
 
 // Config assembles a Server. The zero value serves Table 1 defaults with
@@ -52,8 +63,15 @@ type Config struct {
 	Options leqa.EstimateOptions
 	// Workers sizes the shared Runner's pool; ≤ 0 selects GOMAXPROCS.
 	Workers int
-	// MaxBodyBytes caps every request body; exceeding it is a 413.
+	// MaxBodyBytes caps every JSON request body (and the materialized
+	// decompose fallback of raw uploads); exceeding it is a 413.
 	MaxBodyBytes int64
+	// MaxSpoolBytes caps the disk spool of one streamed raw .qc upload;
+	// exceeding it is a 413. Raw uploads stream past MaxBodyBytes up to
+	// this cap without ever occupying RAM.
+	MaxSpoolBytes int64
+	// SpoolDir receives upload spools; empty means os.TempDir().
+	SpoolDir string
 	// MaxGates caps one circuit's post-decomposition operation count.
 	MaxGates int
 	// MaxCells caps circuits × paramSets per batch request.
@@ -90,6 +108,23 @@ type Server struct {
 	rowsStreamed    atomic.Uint64
 	batchesCanceled atomic.Uint64
 	latency         latencyRecorder
+
+	// Per-endpoint metrics behind GET /metrics; the flat counters above
+	// keep feeding /healthz unchanged.
+	endpoints      map[string]*endpointMetrics
+	spooledUploads atomic.Uint64
+	spooledBytes   atomic.Uint64
+}
+
+// metricsEndpoints fixes the exposition order of the per-endpoint series.
+var metricsEndpoints = []string{"estimate", "sweep", "grid", "benchmarks", "healthz"}
+
+// endpointMetrics aggregates one endpoint's request/row/latency series for
+// the Prometheus-style /metrics exposition.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	rows     atomic.Uint64
+	latency  latencyRecorder
 }
 
 // latencyBucketBounds are the upper edges of the coarse request-latency
@@ -175,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = DefaultMaxConcurrent
 	}
+	if cfg.MaxSpoolBytes <= 0 {
+		cfg.MaxSpoolBytes = DefaultMaxSpoolBytes
+	}
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
@@ -190,15 +228,29 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 		baseCtx:   baseCtx,
 		abortBase: abort,
+		endpoints: make(map[string]*endpointMetrics, len(metricsEndpoints)),
+	}
+	for _, name := range metricsEndpoints {
+		s.endpoints[name] = &endpointMetrics{}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/estimate", s.withSlot(s.handleEstimate))
-	mux.HandleFunc("POST /v1/sweep", s.withSlot(s.handleSweep))
-	mux.HandleFunc("POST /v1/grid", s.withSlot(s.handleGrid))
-	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/estimate", s.withSlot("estimate", s.handleEstimate))
+	mux.HandleFunc("POST /v1/sweep", s.withSlot("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/grid", s.withSlot("grid", s.handleGrid))
+	mux.HandleFunc("GET /v1/benchmarks", s.counted("benchmarks", s.handleBenchmarks))
+	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
+}
+
+// counted tallies an unthrottled endpoint's requests for /metrics.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Add(1)
+		h(w, r)
+	}
 }
 
 // ServeHTTP dispatches to the service's routes.
@@ -257,8 +309,10 @@ func (sc *statusCapture) Flush() {
 // batches count their full duration. Requests rejected before estimation
 // (malformed bodies, bad parameters — any 4xx/5xx) are not recorded, so
 // probe or fuzz traffic cannot drag the metric toward zero.
-func (s *Server) withSlot(h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) withSlot(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.endpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Add(1)
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
@@ -269,7 +323,9 @@ func (s *Server) withSlot(h http.HandlerFunc) http.HandlerFunc {
 			// timed like their SSE equivalents.
 			defer func() {
 				if sc.status >= http.StatusOK && sc.status < http.StatusBadRequest {
-					s.latency.observe(time.Since(t0))
+					d := time.Since(t0)
+					s.latency.observe(d)
+					em.latency.observe(d)
 				}
 			}()
 			h(sc, r)

@@ -1,0 +1,311 @@
+package leqa
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/pool"
+)
+
+// Streaming ingestion types, re-exported from the internal packages.
+type (
+	// GateStream is a re-windable stream of validated gates — the input of
+	// the streaming estimation paths. ingest scanners (see FileSource /
+	// ReaderSource) and CircuitSource streams implement it.
+	GateStream = analysis.GateStream
+	// IngestOptions tunes the streaming .qc scanner: chunk size, line cap,
+	// and the on-disk spool (directory, byte cap) non-seekable sources use
+	// to support the analyzer's second pass.
+	IngestOptions = ingest.Options
+	// Appender extends an analyzed circuit with an append-only gate suffix
+	// and snapshots Analyses without re-analyzing the prefix — the
+	// interactive sizing primitive.
+	Appender = analysis.Appender
+	// NonFTError marks a circuit or gate stream containing gates outside
+	// the fault-tolerant set; the streaming paths report it gate by gate,
+	// and services use it to decide whether to fall back to materialized
+	// decomposition.
+	NonFTError = core.NonFTError
+)
+
+// NewAppender seeds an incremental Appender from an existing analysis (see
+// Analyze / AnalyzeReader).
+func NewAppender(a *Analysis) (*Appender, error) { return analysis.NewAppender(a) }
+
+// AnalyzeReader builds a circuit's analysis from a streamed .qc netlist
+// without materializing its gate list — the front end of the beyond-memory
+// estimation path. The result is estimate-equivalent to Analyze on the
+// parsed circuit (bitwise-identical Results).
+func AnalyzeReader(r io.Reader, name string, opt IngestOptions) (*Analysis, error) {
+	sc := ingest.NewScanner(r, name, opt)
+	defer sc.Close()
+	return analysis.AnalyzeStream(sc)
+}
+
+// EstimateReader runs LEQA on a .qc netlist streamed from r: parsing,
+// analysis and estimation all consume the stream directly, so peak memory
+// is independent of the gate list size. Results are bitwise identical to
+// Estimate on the materialized circuit. The netlist must already be FT —
+// decomposition needs the gate list and is a materialized-path feature.
+func EstimateReader(r io.Reader, name string, p Params, opt IngestOptions) (*EstimateResult, error) {
+	est, err := core.New(p, EstimateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return est.EstimateReader(r, name, opt)
+}
+
+// Source lazily opens one circuit's gate stream: nothing is read, spooled
+// or analyzed until a sweep worker claims the source. Batch engines accept
+// []Source so a fleet of beyond-memory netlists can queue without their
+// combined footprint ever existing at once.
+type Source struct {
+	// Name labels the circuit in results and diagnostics.
+	Name string
+	// Open produces the gate stream. Streams implementing io.Closer are
+	// closed by the engine when the source's work is done. Open may be
+	// called once per engine run; FileSource supports any number of runs,
+	// ReaderSource exactly one.
+	Open func() (GateStream, error)
+}
+
+// FileSource streams a .qc file, naming the circuit after the file. The
+// file is opened lazily (and seeked, never spooled) when a worker claims
+// it.
+func FileSource(path string, opt IngestOptions) Source {
+	return Source{Name: circuit.QCBaseName(path), Open: func() (GateStream, error) {
+		return ingest.Open(path, opt)
+	}}
+}
+
+// ReaderSource streams a .qc netlist from an arbitrary reader (stdin, a
+// network body), spooling to disk for the analyzer's second pass when r
+// cannot seek. The reader is consumed; the source can be opened once.
+func ReaderSource(name string, r io.Reader, opt IngestOptions) Source {
+	return Source{Name: name, Open: func() (GateStream, error) {
+		return ingest.NewScanner(r, name, opt), nil
+	}}
+}
+
+// CircuitSource adapts an in-memory circuit so materialized and streamed
+// inputs can share one batch run.
+func CircuitSource(c *Circuit) Source {
+	return Source{Name: c.Name, Open: func() (GateStream, error) {
+		return analysis.NewCircuitStream(c), nil
+	}}
+}
+
+
+// ctxStream threads context cancellation into a flowing gate stream: the
+// scan stops with ctx's error at the next gate boundary (checked every
+// ctxCheckEvery gates, so the overhead never shows on the hot path).
+type ctxStream struct {
+	src GateStream
+	ctx context.Context
+	n   int
+	err error
+}
+
+const ctxCheckEvery = 4096
+
+func (s *ctxStream) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.n%ctxCheckEvery == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	s.n++
+	return s.src.Scan()
+}
+
+func (s *ctxStream) Gate() Gate { return s.src.Gate() }
+
+func (s *ctxStream) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.src.Err()
+}
+
+func (s *ctxStream) Rewind() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.n = 0
+	return s.src.Rewind()
+}
+
+func (s *ctxStream) NumQubits() int { return s.src.NumQubits() }
+func (s *ctxStream) Name() string   { return s.src.Name() }
+
+// closeStream releases a stream that owns resources (ingest scanners hold
+// spool files); in-memory streams are no-ops.
+func closeStream(src GateStream) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// EstimateStream estimates one gate stream through the runner's pooled
+// arenas and shared estimator: the fused analysis passes consume the stream
+// directly, ctx cancels at gate granularity, and the Result is bitwise
+// identical to the materialized path.
+func (r *Runner) EstimateStream(ctx context.Context, src GateStream) (*EstimateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ar := r.arena()
+	defer r.release(ar)
+	return r.est.EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+}
+
+// EstimateStreamWith is EstimateStream under an explicit parameter set —
+// the estimation service's overlay path, which shares the runner's arena
+// pool (and through the zone-model memo, its cached fabrics) while binding
+// per-request physics.
+func (r *Runner) EstimateStreamWith(ctx context.Context, src GateStream, p Params) (*EstimateResult, error) {
+	est, err := core.New(p, r.opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ar := r.arena()
+	defer r.release(ar)
+	return est.EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+}
+
+// estimateSource opens one lazy source and estimates its stream — the
+// per-item work of the source sweeps.
+func (r *Runner) estimateSource(ctx context.Context, s Source) (*EstimateResult, error) {
+	src, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer closeStream(src)
+	return r.EstimateStream(ctx, src)
+}
+
+// RunSources is Run over lazily opened gate streams: each worker opens,
+// streams and estimates its source without the gate list ever
+// materializing. Results keep input order; per-source failures land in
+// SweepResult.Err.
+func (r *Runner) RunSources(ctx context.Context, sources []Source) ([]SweepResult, error) {
+	results := make([]SweepResult, 0, len(sources))
+	err := r.RunSourcesStream(ctx, sources, func(sr SweepResult) error {
+		results = append(results, sr)
+		return nil
+	})
+	return results, err
+}
+
+// RunSourcesStream is RunSources with per-result delivery in input order.
+func (r *Runner) RunSourcesStream(ctx context.Context, sources []Source, emit func(SweepResult) error) error {
+	return r.runStream(ctx, len(sources), func(i int) SweepResult {
+		sr := SweepResult{Index: i, Name: sources[i].Name}
+		sr.Result, sr.Err = r.estimateSource(ctx, sources[i])
+		return sr
+	}, func(i int) string { return sources[i].Name }, emit)
+}
+
+// SweepGridSources estimates the sources × paramSets cross product — the
+// streamed counterpart of SweepGrid. With one parameter column each cell
+// streams straight through its worker's arena; with several, each source is
+// streamed and analyzed exactly once (by whichever worker first needs it)
+// and the shared immutable analysis feeds every column, so a beyond-memory
+// netlist is read once per run, not once per cell.
+func (r *Runner) SweepGridSources(ctx context.Context, sources []Source, paramSets []Params) ([]GridCell, error) {
+	cells := make([]GridCell, 0, len(sources)*len(paramSets))
+	err := r.SweepGridSourcesStream(ctx, sources, paramSets, func(cell GridCell) error {
+		cells = append(cells, cell)
+		return nil
+	})
+	if err != nil && len(cells) == 0 && ctx.Err() == nil {
+		return nil, err // parameter-set validation failure: nothing ran
+	}
+	return cells, err
+}
+
+// SweepGridSourcesStream is SweepGridSources with per-cell delivery in
+// circuit-major input order, mirroring SweepGridStream's contract.
+func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, paramSets []Params, emit func(GridCell) error) error {
+	ests, err := r.gridEstimators(paramSets)
+	if err != nil {
+		return err
+	}
+	type lazyAnalysis struct {
+		once sync.Once
+		a    *analysis.Analysis
+		err  error
+	}
+	analyses := make([]lazyAnalysis, len(sources))
+	analyze := func(i int) (*analysis.Analysis, error) {
+		la := &analyses[i]
+		la.once.Do(func() {
+			if err := ctx.Err(); err != nil {
+				la.err = err
+				return
+			}
+			src, err := sources[i].Open()
+			if err != nil {
+				la.err = err
+				return
+			}
+			defer closeStream(src)
+			la.a, la.err = analysis.AnalyzeStream(&ctxStream{src: src, ctx: ctx})
+		})
+		return la.a, la.err
+	}
+	m := len(paramSets)
+	err = pool.ForEachOrdered(len(sources)*m, r.workers, func(k int) GridCell {
+		i, j := k/m, k%m
+		cell := GridCell{
+			CircuitIndex: i,
+			ParamsIndex:  j,
+			Name:         sources[i].Name,
+			Params:       paramSets[j],
+		}
+		if err := ctx.Err(); err != nil {
+			cell.Err = err
+			return cell
+		}
+		ar := r.arena()
+		defer r.release(ar)
+		if m == 1 {
+			// Single column: the stream feeds exactly one cell, so the
+			// whole analyze+estimate runs in this worker's arena.
+			src, err := sources[i].Open()
+			if err != nil {
+				cell.Err = err
+				return cell
+			}
+			defer closeStream(src)
+			cell.Result, cell.Err = ests[j].EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+			return cell
+		}
+		a, aerr := analyze(i)
+		switch {
+		case aerr != nil:
+			cell.Err = aerr
+		case ctx.Err() != nil:
+			cell.Err = ctx.Err()
+		default:
+			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
+		}
+		return cell
+	}, emit)
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
