@@ -330,6 +330,29 @@ func BenchmarkAnalyze(b *testing.B) {
 			}
 		}
 	})
+	// Forced shard gangs regardless of GOMAXPROCS or the auto-dispatch
+	// threshold: on a single-core host this is the stitch-overhead bound
+	// (the gang serializes, leaving only the sharding bookkeeping), on a
+	// multi-core host the speedup claim.
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("ShardedCSR%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.AnalyzeSharded(c, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("ShardedArena4", func(b *testing.B) {
+		b.ReportAllocs()
+		ar := analysis.NewArena()
+		for i := 0; i < b.N; i++ {
+			if _, err := ar.AnalyzeSharded(c, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("TwoPassCSR", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -412,6 +435,25 @@ func BenchmarkAnalyzeStream(b *testing.B) {
 				a, err := analysis.AnalyzeStream(sc)
 				return a, err
 			}), "retained-B")
+		})
+		b.Run("StreamedSharded4/"+name, func(b *testing.B) {
+			// Forced 4-way sharded second pass over checkpointed spool
+			// segments, independent of GOMAXPROCS and the dispatch
+			// threshold (see BenchmarkAnalyze/ShardedCSR*).
+			saved := analysis.ShardThreshold
+			analysis.ShardThreshold = 1
+			defer func() { analysis.ShardThreshold = saved }()
+			ar := analysis.NewArena()
+			ar.MaxShards = 4
+			b.ReportAllocs()
+			b.SetBytes(int64(len(qc)))
+			for i := 0; i < b.N; i++ {
+				sc := ingest.NewScanner(bytes.NewReader(qc), name, ingest.Options{})
+				if _, err := ar.AnalyzeStream(sc); err != nil {
+					b.Fatal(err)
+				}
+				sc.Close()
+			}
 		})
 	}
 }

@@ -34,6 +34,10 @@
 //	-maxmem N         materialize .qc files up to N bytes; stream larger ones
 //	                  (and stdin) through the ingestion layer (default 64 MiB)
 //	-workers          sweep worker-pool size (default GOMAXPROCS)
+//	-parallel-threshold N  critical-path parallel sweep threshold in nodes
+//	                  (default 65536; env LEQA_PARALLEL_THRESHOLD)
+//	-shard-threshold N     analysis shard-parallel threshold in gates; 0
+//	                  disables sharding (default 65536; env LEQA_SHARD_THRESHOLD)
 //	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
 //	-verbose          print model intermediates and cache statistics
@@ -124,6 +128,8 @@ func run() error {
 		doDecompose  = flag.Bool("decompose", true, "lower reversible gates to the FT set first")
 		maxMem       = flag.Int64("maxmem", 64<<20, "materialize .qc files up to this many bytes; stream larger ones (and stdin)")
 		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		parThresh    = flag.Int("parallel-threshold", -1, "critical-path parallel sweep threshold in nodes (-1 = default or $LEQA_PARALLEL_THRESHOLD)")
+		shardThresh  = flag.Int("shard-threshold", -1, "analysis shard-parallel threshold in gates, 0 disables sharding (-1 = default or $LEQA_SHARD_THRESHOLD)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
 		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
@@ -140,6 +146,16 @@ func run() error {
 	}
 	if *jsonOut && *csvOut {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	// Parallelism thresholds: environment first, explicit flags override.
+	if err := leqa.ApplyEnvTuning(); err != nil {
+		return err
+	}
+	if *parThresh >= 0 {
+		leqa.SetParallelThreshold(*parThresh)
+	}
+	if *shardThresh >= 0 {
+		leqa.SetShardThreshold(*shardThresh)
 	}
 	// pprof hooks so hot-path regressions can be diagnosed on real
 	// workloads in the field without editing the benchmark harness.

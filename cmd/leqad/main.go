@@ -38,6 +38,10 @@
 //	-max-cells       circuits × paramSets cap per batch
 //	-max-concurrent  simultaneous estimation requests before 429
 //	-drain           graceful-shutdown drain window
+//	-parallel-threshold  critical-path parallel sweep threshold in nodes
+//	                 (default 65536; env LEQA_PARALLEL_THRESHOLD)
+//	-shard-threshold     analysis shard-parallel threshold in gates; 0
+//	                 disables sharding (default 65536; env LEQA_SHARD_THRESHOLD)
 //
 // Raw .qc uploads on /v1/estimate stream through internal/ingest: the
 // netlist is parsed gate by gate and spooled to disk for the analyzer's
@@ -92,8 +96,22 @@ func run() error {
 		maxCells      = flag.Int("max-cells", server.DefaultMaxCells, "circuits × paramSets cap per batch")
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous estimation requests")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		parThresh     = flag.Int("parallel-threshold", -1, "critical-path parallel sweep threshold in nodes (-1 = default or $LEQA_PARALLEL_THRESHOLD)")
+		shardThresh   = flag.Int("shard-threshold", -1, "analysis shard-parallel threshold in gates, 0 disables sharding (-1 = default or $LEQA_SHARD_THRESHOLD)")
 	)
 	flag.Parse()
+
+	// Parallelism thresholds: environment first, explicit flags override.
+	// Applied before the Runner exists so no estimate ever races the write.
+	if err := leqa.ApplyEnvTuning(); err != nil {
+		return err
+	}
+	if *parThresh >= 0 {
+		leqa.SetParallelThreshold(*parThresh)
+	}
+	if *shardThresh >= 0 {
+		leqa.SetShardThreshold(*shardThresh)
+	}
 
 	params := leqa.DefaultParams()
 	params.Grid = leqa.Grid{Width: *width, Height: *height}

@@ -20,6 +20,14 @@ import (
 // Analyze on the same arena; estimator Results derived from it do not alias
 // the arena and stay valid forever.
 type Arena struct {
+	// MaxShards caps the shard count of the parallel analysis build for
+	// calls through this arena; 0 means GOMAXPROCS, 1 forces the serial
+	// pass. leqa.Runner sets it (together with Path().MaxWorkers) to the
+	// arena's share of the cores, so pool concurrency and shard gangs
+	// divide the machine instead of multiplying against it. Purely a
+	// performance knob — results are bitwise identical at every setting.
+	MaxShards int
+
 	scan             qodg.DepScanner
 	nodes            []qodg.Node
 	succDeg, predDeg []int32
@@ -32,6 +40,14 @@ type Arena struct {
 	igs        iig.Scratch
 	a          Analysis
 	lastWriter []qodg.NodeID
+
+	// Per-shard scratch of the parallel build: one sub-arena per shard
+	// (scanner, boundary records) plus the merged last-writer seed and the
+	// shard cut table, all recycled so the sharded pass stays at the serial
+	// arena path's steady-state allocation count.
+	shards []shardScratch
+	seed   []qodg.NodeID
+	cuts   []int
 
 	weights qodg.Weights
 	path    qodg.PathScratch

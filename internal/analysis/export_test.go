@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/qodg"
+)
+
+// AnalyzeShardedAtCuts exposes the shard-parallel builder with explicit
+// shard boundaries to the external test package — the equivalence suite's
+// hook for adversarial cut placement (empty shards, cuts inside same-qubit
+// gate runs, suffix-only shards) the even-cut public API can't produce.
+func AnalyzeShardedAtCuts(c *circuit.Circuit, ar *Arena, cuts []int) (*Analysis, error) {
+	return analyzeShardedCuts(c, ar, cuts)
+}
+
+// AnalyzeSerialOracle exposes the retained serial pass regardless of
+// thresholds — the oracle every sharded result is compared against.
+func AnalyzeSerialOracle(c *circuit.Circuit, ar *Arena) (*Analysis, error) {
+	return analyzeSerial(c, ar)
+}
+
+// AnalyzeStreamSharded exposes the streamed analysis with a forced
+// fill-pass shard count, bypassing the threshold dispatch.
+func AnalyzeStreamSharded(src GateStream, ar *Arena, k int) (*Analysis, error) {
+	return analyzeStreamK(src, ar, k)
+}
+
+// LastWriterState exposes the analysis's final per-qubit last-writer state
+// so the suite can assert the sharded stitch reconstructs it exactly (it is
+// the seed Appender resumes from).
+func (a *Analysis) LastWriterState() []qodg.NodeID { return a.lastWriter }

@@ -144,20 +144,25 @@ func (e *Estimator) EstimateStream(src analysis.GateStream) (*Result, error) {
 // buffer drawn from ar — the steady-state ingestion path of a pooled
 // worker. A nil arena allocates fresh storage.
 func (e *Estimator) EstimateStreamArena(src analysis.GateStream, ar *analysis.Arena) (*Result, error) {
-	guard := &ftGuard{src: src}
-	var (
-		a   *analysis.Analysis
-		err error
-	)
-	if ar != nil {
-		a, err = ar.AnalyzeStream(guard)
-	} else {
-		a, err = analysis.AnalyzeStream(guard)
-	}
+	a, err := e.AnalyzeStreamFT(src, ar)
 	if err != nil {
 		return nil, err
 	}
 	return e.estimate(a.Qubits, a.Operations, a.QODG, a.IIG, ar)
+}
+
+// AnalyzeStreamFT is the analysis half of EstimateStreamArena on its own:
+// the stream runs behind the FT-set guard into the fused (possibly
+// shard-parallel) streamed analysis. Callers that need to time or schedule
+// the analysis and estimate phases separately — the service's phase
+// metrics — pair it with EstimateAnalysisArena; the composition is exactly
+// EstimateStreamArena.
+func (e *Estimator) AnalyzeStreamFT(src analysis.GateStream, ar *analysis.Arena) (*analysis.Analysis, error) {
+	guard := &ftGuard{src: src}
+	if ar != nil {
+		return ar.AnalyzeStream(guard)
+	}
+	return analysis.AnalyzeStream(guard)
 }
 
 // EstimateReader runs Algorithm 1 on a .qc netlist read from r, streamed
@@ -215,6 +220,18 @@ func (f *ftGuard) Rewind() error {
 
 func (f *ftGuard) NumQubits() int { return f.src.NumQubits() }
 func (f *ftGuard) Name() string   { return f.src.Name() }
+
+// Segments delegates to the wrapped source so the guard never hides a
+// segmentable stream from the shard-parallel fill pass. The segments
+// themselves are not re-guarded: the counting pass runs the full stream
+// through the guard first, so a non-FT gate fails the analysis before any
+// fill — sharded or serial — begins.
+func (f *ftGuard) Segments(max int) ([]analysis.GateStream, []int, error) {
+	if seg, ok := f.src.(analysis.SegmentedStream); ok {
+		return seg.Segments(max)
+	}
+	return nil, nil, nil
+}
 
 // EstimateArena is Estimate through a reusable arena: the fused analysis
 // pass, the weight vector and the critical-path sweep all run in ar's

@@ -1,0 +1,184 @@
+// Segment replay: the Scanner records byte-offset checkpoints during its
+// first complete pass, then Segments carves the netlist into independently
+// replayable windows — the source side of the shard-parallel streamed
+// analysis (analysis.SegmentedStream). Each segment reads through its own
+// io.SectionReader (pread — no shared file offset) and parses with a forked
+// LineParser over a cloned register, so segments are safe to consume from
+// distinct goroutines with zero coordination.
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"unsafe"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+)
+
+// checkpointStride is the gate spacing of replay checkpoints: fine enough
+// that shard boundaries land near their even-split targets on any netlist
+// large enough to shard, coarse enough that the trail costs ~32 bytes per
+// thousand gates.
+const checkpointStride = 1024
+
+// checkpoint pins one resumable position of the netlist byte stream, always
+// on a line boundary.
+type checkpoint struct {
+	gate   int   // index of the next gate to be emitted
+	off    int64 // netlist-relative byte offset of the position
+	line   int   // lines consumed up to the position
+	inBody bool  // BEGIN/END state at the position
+}
+
+// readerAt returns the random-access view of the complete netlist (and the
+// netlist's base offset within it), or nil when none exists yet: the
+// original seeker for seekable sources, the spool once a non-seekable
+// source has been copied through completely.
+func (s *Scanner) readerAt() (io.ReaderAt, int64) {
+	if s.seeker != nil {
+		if ra, ok := s.seeker.(io.ReaderAt); ok {
+			return ra, s.start
+		}
+		return nil, 0
+	}
+	if s.spoolDone && s.spool != nil {
+		return s.spool, 0
+	}
+	return nil, 0
+}
+
+// Segments implements analysis.SegmentedStream: after a complete pass has
+// recorded the checkpoint trail, it splits the netlist into at most max
+// contiguous gate ranges cut at checkpoints, each backed by its own
+// section reader and forked parser. A (nil, nil, nil) return means the
+// scanner cannot segment (no complete pass yet, no random-access view, or
+// the netlist is too small to have interior checkpoints) and the caller
+// should replay serially. The scanner itself is left untouched — its own
+// passes remain available.
+func (s *Scanner) Segments(max int) ([]analysis.GateStream, []int, error) {
+	if s.closed || s.err != nil || !s.ckptDone || max < 2 {
+		return nil, nil, nil
+	}
+	ra, base := s.readerAt()
+	if ra == nil {
+		return nil, nil, nil
+	}
+	// Candidate boundaries: the implicit start plus every recorded
+	// checkpoint strictly inside the gate range (one at the very end would
+	// only split off an empty segment).
+	cps := make([]checkpoint, 0, len(s.ckpts)+1)
+	cps = append(cps, checkpoint{})
+	for _, cp := range s.ckpts {
+		if cp.gate < s.nGates {
+			cps = append(cps, cp)
+		}
+	}
+	k := max
+	if k > len(cps) {
+		k = len(cps)
+	}
+	if k < 2 {
+		return nil, nil, nil
+	}
+	chosen := make([]checkpoint, k)
+	for i := range chosen {
+		chosen[i] = cps[i*len(cps)/k]
+	}
+	segs := make([]analysis.GateStream, k)
+	cuts := make([]int, k+1)
+	for i, cp := range chosen {
+		end := s.srcSize
+		if i+1 < k {
+			end = chosen[i+1].off
+		}
+		cuts[i] = cp.gate
+		segs[i] = &segmentStream{
+			name:    s.name,
+			tmpl:    s.p.ForkAt(cp.line, cp.inBody),
+			sect:    io.NewSectionReader(ra, base+cp.off, end-cp.off),
+			chunk:   s.opt.chunk(),
+			maxLine: s.opt.maxLine(),
+		}
+	}
+	cuts[k] = s.nGates
+	return segs, cuts, nil
+}
+
+// segmentStream replays one checkpoint-delimited window of the netlist: a
+// Scanner stripped of spooling and checkpointing, over a section reader and
+// a forked parser.
+type segmentStream struct {
+	name    string
+	tmpl    *circuit.LineParser // pristine fork; cloned again per pass
+	p       *circuit.LineParser
+	sect    *io.SectionReader
+	lr      lineReader
+	chunk   int
+	maxLine int
+
+	started bool
+	gate    circuit.Gate
+	err     error
+}
+
+func (g *segmentStream) Scan() bool {
+	if g.err != nil {
+		return false
+	}
+	if !g.started {
+		g.started = true
+		// Fork the template rather than consuming it, so Rewind can fork
+		// again from the same pristine state.
+		g.p = g.tmpl.ForkAt(g.tmpl.Line(), g.tmpl.InBody())
+		if _, err := g.sect.Seek(0, io.SeekStart); err != nil {
+			g.err = fmt.Errorf("ingest: %s: %w", g.name, err)
+			return false
+		}
+		g.lr.reset(g.sect, g.chunk, g.maxLine)
+	}
+	for {
+		line, err := g.lr.next()
+		if err == io.EOF {
+			return false
+		}
+		if err != nil {
+			g.err = fmt.Errorf("ingest: %s: %w", g.name, err)
+			return false
+		}
+		var text string
+		if len(line) > 0 {
+			text = unsafe.String(&line[0], len(line))
+		}
+		gt, ok, perr := g.p.Next(text)
+		if perr != nil {
+			g.err = perr
+			return false
+		}
+		if ok {
+			g.gate = gt
+			return true
+		}
+	}
+}
+
+func (g *segmentStream) Gate() circuit.Gate { return g.gate }
+func (g *segmentStream) Err() error         { return g.err }
+
+func (g *segmentStream) Rewind() error {
+	if g.err != nil {
+		return g.err
+	}
+	g.started = false
+	g.gate = circuit.Gate{}
+	return nil
+}
+
+func (g *segmentStream) NumQubits() int {
+	if g.p != nil {
+		return g.p.NumQubits()
+	}
+	return g.tmpl.NumQubits()
+}
+
+func (g *segmentStream) Name() string { return g.name }

@@ -1,0 +1,171 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/qodg"
+)
+
+// bigQC synthesizes a netlist long enough to cross several checkpoint
+// strides, with comments, blank lines and auto-declared ancillas sprinkled
+// in so segment boundaries land after non-gate lines too.
+func bigQC(nGates int) string {
+	var b strings.Builder
+	b.WriteString("# synthetic checkpoint-replay netlist\n.v q0 q1 q2 q3 q4 q5 q6 q7\nBEGIN\n")
+	for i := 0; i < nGates; i++ {
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&b, "H q%d\n", i%8)
+		case 1:
+			fmt.Fprintf(&b, "CNOT q%d q%d\n", i%8, (i+3)%8)
+		case 2:
+			fmt.Fprintf(&b, "T q%d\n", (i+5)%8)
+		case 3:
+			// Same-pair run material plus an occasional comment line.
+			fmt.Fprintf(&b, "CNOT q%d q%d\n", i%4, i%4+4)
+			if i%97 == 3 {
+				b.WriteString("  # mid-body comment\n\n")
+			}
+		default:
+			fmt.Fprintf(&b, "CNOT anc%d q%d\n", i%3, i%8)
+		}
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// TestSegmentsReplayMatchesSerial proves the checkpointed segment replay
+// re-emits exactly the serial gate stream — per segment and concatenated —
+// on both the seekable and the spooled source paths.
+func TestSegmentsReplayMatchesSerial(t *testing.T) {
+	text := bigQC(5000)
+	for _, mode := range []string{"seek", "pipe"} {
+		var s *Scanner
+		if mode == "seek" {
+			s = NewScanner(strings.NewReader(text), "big", Options{})
+		} else {
+			s = NewScanner(pipe{strings.NewReader(text)}, "big", Options{})
+		}
+		if segs, cuts, err := s.Segments(4); segs != nil || cuts != nil || err != nil {
+			t.Fatalf("%s: Segments before any pass = (%v, %v, %v), want all nil", mode, segs, cuts, err)
+		}
+		want := collect(t, s)
+		if !s.ckptDone {
+			t.Fatalf("%s: checkpoint trail not finalized after a full pass", mode)
+		}
+		for _, max := range []int{2, 3, 4, 16} {
+			segs, cuts, err := s.Segments(max)
+			if err != nil {
+				t.Fatalf("%s/max=%d: %v", mode, max, err)
+			}
+			if segs == nil {
+				t.Fatalf("%s/max=%d: source declined to segment", mode, max)
+			}
+			k := len(segs)
+			if k < 2 || k > max || len(cuts) != k+1 || cuts[0] != 0 || cuts[k] != len(want) {
+				t.Fatalf("%s/max=%d: %d segments, cuts %v (nGates %d)", mode, max, k, cuts, len(want))
+			}
+			var got []circuit.Gate
+			for i, seg := range segs {
+				n := 0
+				for seg.Scan() {
+					got = append(got, seg.Gate().Clone())
+					n++
+				}
+				if err := seg.Err(); err != nil {
+					t.Fatalf("%s/max=%d seg %d: %v", mode, max, i, err)
+				}
+				if n != cuts[i+1]-cuts[i] {
+					t.Fatalf("%s/max=%d seg %d: %d gates, want %d", mode, max, i, n, cuts[i+1]-cuts[i])
+				}
+			}
+			assertGatesEqual(t, fmt.Sprintf("%s/max=%d", mode, max), got, want)
+
+			// A rewound segment replays identically.
+			if err := segs[1].Rewind(); err != nil {
+				t.Fatalf("%s/max=%d: rewind: %v", mode, max, err)
+			}
+			var again []circuit.Gate
+			for segs[1].Scan() {
+				again = append(again, segs[1].Gate().Clone())
+			}
+			if err := segs[1].Err(); err != nil {
+				t.Fatal(err)
+			}
+			assertGatesEqual(t, "rewound segment", again, want[cuts[1]:cuts[2]])
+		}
+
+		// The scanner itself still rewinds and replays after segmenting.
+		if err := s.Rewind(); err != nil {
+			t.Fatal(err)
+		}
+		assertGatesEqual(t, mode+"/scanner-after-segments", collect(t, s), want)
+	}
+}
+
+// TestAnalyzeStreamShardedOverScanner is the end-to-end streamed tentpole
+// check: a scanner-fed sharded analysis must produce graphs identical to
+// the serial streamed analysis of the same netlist.
+func TestAnalyzeStreamShardedOverScanner(t *testing.T) {
+	text := bigQC(20000)
+	s := NewScanner(strings.NewReader(text), "big", Options{})
+	want, err := analysis.AnalyzeStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origThreshold := analysis.ShardThreshold
+	defer func() { analysis.ShardThreshold = origThreshold }()
+	analysis.ShardThreshold = 1
+	ar := analysis.NewArena()
+	ar.MaxShards = 4
+	if err := s.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ar.AnalyzeStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Qubits != want.Qubits || got.Operations != want.Operations || got.FT != want.FT {
+		t.Fatalf("metadata (%d,%d,%v), want (%d,%d,%v)",
+			got.Qubits, got.Operations, got.FT, want.Qubits, want.Operations, want.FT)
+	}
+	if got.QODG.NumNodes() != want.QODG.NumNodes() || got.QODG.NumEdges() != want.QODG.NumEdges() {
+		t.Fatalf("QODG shape %d/%d, want %d/%d",
+			got.QODG.NumNodes(), got.QODG.NumEdges(), want.QODG.NumNodes(), want.QODG.NumEdges())
+	}
+	for u := 0; u < want.QODG.NumNodes(); u++ {
+		id := qodg.NodeID(u)
+		if !nodeIDsEqual(got.QODG.Succ(id), want.QODG.Succ(id)) ||
+			!nodeIDsEqual(got.QODG.Pred(id), want.QODG.Pred(id)) {
+			t.Fatalf("node %d adjacency differs: succ %v/%v pred %v/%v", u,
+				got.QODG.Succ(id), want.QODG.Succ(id), got.QODG.Pred(id), want.QODG.Pred(id))
+		}
+	}
+	ge, we := got.IIG.Edges(), want.IIG.Edges()
+	if len(ge) != len(we) {
+		t.Fatalf("IIG %d edges, want %d", len(ge), len(we))
+	}
+	for i := range we {
+		if ge[i] != we[i] {
+			t.Fatalf("IIG edge %d = %+v, want %+v", i, ge[i], we[i])
+		}
+	}
+}
+
+func nodeIDsEqual(a, b []qodg.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

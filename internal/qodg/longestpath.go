@@ -48,6 +48,7 @@ type PathScratch struct {
 	levelOff   []int32  // level l's nodes sit at levelNodes[levelOff[l]:levelOff[l+1]]
 	levelCur   []int32  // counting-sort fill cursors
 	levelNodes []NodeID // node IDs grouped by level, ascending within a level
+	prepCnt    []int32  // per-worker level histograms/cursors of the parallel index build
 }
 
 // grow is csr.Grow under a local name: resize, reallocating only when the
@@ -166,31 +167,41 @@ func (g *Graph) relaxSerial(w Weights, dist []float64, from []NodeID) {
 func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 	n := len(g.Nodes)
 
-	// ASAP levels (one push pass over the topological order) + depth,
-	// via the same kernel Levels uses.
+	// ASAP levels + depth, via the same kernel Levels uses. The push pass
+	// stays serial: each node's level depends on its predecessors', so the
+	// recurrence offers no safe partition — unlike everything downstream.
 	s.level = grow(s.level, n)
 	level := s.level
 	depth := g.computeLevels(level)
 
 	// Counting sort: group node IDs by level, ascending within each level.
+	// The histogram and placement passes are embarrassingly parallel over
+	// contiguous node chunks, so wide graphs split them across the worker
+	// budget; narrow or level-heavy graphs (per-worker rows would rival the
+	// node array) keep the serial passes. Both produce the identical index.
 	s.levelOff = grow(s.levelOff, int(depth)+2)
 	off := s.levelOff
 	clear(off)
-	for _, lv := range level {
-		off[lv+1]++
-	}
-	for i := 1; i < len(off); i++ {
-		off[i] += off[i-1]
-	}
-	s.levelCur = grow(s.levelCur, int(depth)+1)
-	cur := s.levelCur
-	copy(cur, off[:depth+1])
 	s.levelNodes = grow(s.levelNodes, n)
 	nodes := s.levelNodes
-	for u := 0; u < n; u++ {
-		lv := level[u]
-		nodes[cur[lv]] = NodeID(u)
-		cur[lv]++
+	nLev := int(depth) + 1
+	if workers > 1 && (nLev+1)*workers <= n {
+		s.prepCnt = indexLevels(level, off, nodes, s.prepCnt, nLev, workers)
+	} else {
+		for _, lv := range level {
+			off[lv+1]++
+		}
+		for i := 1; i < len(off); i++ {
+			off[i] += off[i-1]
+		}
+		s.levelCur = grow(s.levelCur, nLev)
+		cur := s.levelCur
+		copy(cur, off[:nLev])
+		for u := 0; u < n; u++ {
+			lv := level[u]
+			nodes[cur[lv]] = NodeID(u)
+			cur[lv]++
+		}
 	}
 
 	dist, from := s.dist, s.from
@@ -255,6 +266,66 @@ func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 		close(jobs)
 		gang.Wait()
 	}
+}
+
+// indexLevels builds the level index (levelOff offsets + levelNodes grouped
+// by level) with the histogram and placement passes fanned across workers
+// over contiguous node chunks. Each worker histograms its chunk into a
+// private count row; a serial O(workers·levels) pass turns the rows into
+// level offsets and per-worker fill cursors; the placement pass then writes
+// every chunk through its own cursors. Chunks ascend by node ID and cursor
+// bases ascend by worker within each level, so the nodes of every level come
+// out ascending by ID — byte-identical to the serial counting sort.
+func indexLevels(level, off []int32, nodes []NodeID, prepCnt []int32, nLev, workers int) []int32 {
+	n := len(level)
+	prepCnt = grow(prepCnt, workers*nLev)
+	clear(prepCnt)
+	chunk := (n + workers - 1) / workers
+	span := func(w int) (int, int) {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	var wg sync.WaitGroup
+	forkJoin := func(pass func(cnt []int32, lo, hi int)) {
+		wg.Add(workers - 1)
+		for w := 1; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := span(w)
+				pass(prepCnt[w*nLev:(w+1)*nLev], lo, hi)
+			}(w)
+		}
+		lo, hi := span(0)
+		pass(prepCnt[:nLev], lo, hi)
+		wg.Wait()
+	}
+	forkJoin(func(cnt []int32, lo, hi int) {
+		for _, lv := range level[lo:hi] {
+			cnt[lv]++
+		}
+	})
+	total := int32(0)
+	for lv := 0; lv < nLev; lv++ {
+		off[lv] = total
+		for w := 0; w < workers; w++ {
+			c := prepCnt[w*nLev+lv]
+			prepCnt[w*nLev+lv] = total
+			total += c
+		}
+	}
+	off[nLev] = total
+	forkJoin(func(cnt []int32, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			lv := level[u]
+			nodes[cnt[lv]] = NodeID(u)
+			cnt[lv]++
+		}
+	})
+	return prepCnt
 }
 
 // relaxSpan finalizes dist/from for a slice of same-level nodes. Scanning

@@ -34,7 +34,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(bw, "# HELP leqad_request_duration_seconds Duration of successfully answered estimation requests, by endpoint.\n")
 	fmt.Fprintf(bw, "# TYPE leqad_request_duration_seconds histogram\n")
 	for _, name := range estimationEndpoints() {
-		writeHistogram(bw, "leqad_request_duration_seconds", name, &s.endpoints[name].latency)
+		writeHistogram(bw, "leqad_request_duration_seconds", "endpoint", name, &s.endpoints[name].latency)
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_phase_duration_seconds Duration of estimation pipeline phases (ingest: source acquisition; analyze: fused graph build, including parsing for streamed netlists; estimate: Algorithm 1).\n")
+	fmt.Fprintf(bw, "# TYPE leqad_phase_duration_seconds histogram\n")
+	for _, name := range metricsPhases {
+		writeHistogram(bw, "leqad_phase_duration_seconds", "phase", name, s.phases[name])
 	}
 
 	fmt.Fprintf(bw, "# HELP leqad_batches_canceled_total Batches ended early by cancellation or disconnect.\n")
@@ -75,19 +81,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func estimationEndpoints() []string { return metricsEndpoints[:3] }
 
 // writeHistogram renders one latencyRecorder as a cumulative Prometheus
-// histogram. The recorder's buckets are non-cumulative and lock-free, so a
-// scrape racing live updates can be off by in-flight observations — the
-// standard tolerance for atomically maintained histograms.
-func writeHistogram(bw *bufio.Writer, metric, endpoint string, l *latencyRecorder) {
+// histogram under a single label (endpoint=... or phase=...). The recorder's
+// buckets are non-cumulative and lock-free, so a scrape racing live updates
+// can be off by in-flight observations — the standard tolerance for
+// atomically maintained histograms.
+func writeHistogram(bw *bufio.Writer, metric, label, value string, l *latencyRecorder) {
 	cum := uint64(0)
 	for i, bound := range latencyBucketBounds {
 		cum += l.buckets[i].Load()
-		fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=%q} %d\n", metric, endpoint, formatSeconds(bound), cum)
+		fmt.Fprintf(bw, "%s_bucket{%s=%q,le=%q} %d\n", metric, label, value, formatSeconds(bound), cum)
 	}
 	cum += l.buckets[len(latencyBucketBounds)].Load()
-	fmt.Fprintf(bw, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", metric, endpoint, cum)
-	fmt.Fprintf(bw, "%s_sum{endpoint=%q} %g\n", metric, endpoint, float64(l.sumNanos.Load())/1e9)
-	fmt.Fprintf(bw, "%s_count{endpoint=%q} %d\n", metric, endpoint, l.count.Load())
+	fmt.Fprintf(bw, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", metric, label, value, cum)
+	fmt.Fprintf(bw, "%s_sum{%s=%q} %g\n", metric, label, value, float64(l.sumNanos.Load())/1e9)
+	fmt.Fprintf(bw, "%s_count{%s=%q} %d\n", metric, label, value, l.count.Load())
 }
 
 func formatSeconds(d time.Duration) string {

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/benchgen"
 	"repro/internal/ingest"
@@ -132,6 +133,9 @@ func wantDecompose(spec *client.OptionsSpec) bool {
 // gate-count cap. Errors are per-spec: batch handlers turn them into error
 // rows rather than failing the request.
 func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.Circuit, error) {
+	// Spec resolution — generation or parsing plus FT lowering — is the
+	// JSON endpoints' ingest phase.
+	defer func(t time.Time) { leqa.ObservePhase(leqa.PhaseIngest, time.Since(t)) }(time.Now())
 	var c *leqa.Circuit
 	var err error
 	switch {

@@ -114,10 +114,17 @@ type Server struct {
 	endpoints      map[string]*endpointMetrics
 	spooledUploads atomic.Uint64
 	spooledBytes   atomic.Uint64
+
+	// Per-phase latency (ingest/analyze/estimate), fed by the process-wide
+	// leqa phase observer the newest Server registers; see New.
+	phases map[string]*latencyRecorder
 }
 
 // metricsEndpoints fixes the exposition order of the per-endpoint series.
 var metricsEndpoints = []string{"estimate", "sweep", "grid", "benchmarks", "healthz"}
+
+// metricsPhases fixes the exposition order of the per-phase series.
+var metricsPhases = []string{leqa.PhaseIngest, leqa.PhaseAnalyze, leqa.PhaseEstimate}
 
 // endpointMetrics aggregates one endpoint's request/row/latency series for
 // the Prometheus-style /metrics exposition.
@@ -233,6 +240,19 @@ func New(cfg Config) (*Server, error) {
 	for _, name := range metricsEndpoints {
 		s.endpoints[name] = &endpointMetrics{}
 	}
+	s.phases = make(map[string]*latencyRecorder, len(metricsPhases))
+	for _, name := range metricsPhases {
+		s.phases[name] = &latencyRecorder{}
+	}
+	// The phase observer is process-wide (the leqa pipeline has no handle to
+	// carry per-server state through an arena checkout); a leqad process runs
+	// one Server, and when several coexist — tests — the newest one's
+	// recorders win.
+	leqa.SetPhaseObserver(func(phase string, d time.Duration) {
+		if l := s.phases[phase]; l != nil {
+			l.observe(d)
+		}
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.withSlot("estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/sweep", s.withSlot("sweep", s.handleSweep))

@@ -1,0 +1,60 @@
+package leqa
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase labels reported to the PhaseObserver. One estimation passes through
+// up to three phases:
+//
+//   - PhaseIngest — acquiring the gate source: generating a named
+//     benchmark, opening a lazy stream source, or (server-side) spooling an
+//     upload. Materialized circuits handed to Run directly have no ingest
+//     phase.
+//   - PhaseAnalyze — the fused graph build (QODG + IIG). For streamed
+//     sources this includes gate parsing: streaming fuses parse and build
+//     by design, so the parse cost is billed to the analysis that consumes
+//     it.
+//   - PhaseEstimate — Algorithm 1 itself (weights, critical path, zone
+//     model).
+const (
+	PhaseIngest   = "ingest"
+	PhaseAnalyze  = "analyze"
+	PhaseEstimate = "estimate"
+)
+
+// PhaseObserver receives the wall-clock duration of each completed pipeline
+// phase. Implementations must be safe for concurrent use — sweep workers
+// report in parallel — and fast: the observer sits on the estimate hot
+// path.
+type PhaseObserver func(phase string, d time.Duration)
+
+var phaseObserver atomic.Pointer[PhaseObserver]
+
+// SetPhaseObserver registers the process-wide phase observer (nil
+// unregisters). One observer exists at a time; leqad registers its metrics
+// recorder at startup. Phases that fail mid-way are still reported — the
+// duration is the time spent until the error.
+func SetPhaseObserver(fn PhaseObserver) {
+	if fn == nil {
+		phaseObserver.Store(nil)
+		return
+	}
+	phaseObserver.Store(&fn)
+}
+
+// ObservePhase feeds one finished phase to the registered observer — the
+// hook for callers that run a pipeline phase outside the Runner, such as
+// leqad resolving a circuit spec (its ingest phase) before estimation.
+// No-op when no observer is registered.
+func ObservePhase(phase string, d time.Duration) {
+	if p := phaseObserver.Load(); p != nil {
+		(*p)(phase, d)
+	}
+}
+
+// observePhase reports one finished phase that began at start.
+func observePhase(phase string, start time.Time) {
+	ObservePhase(phase, time.Since(start))
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/circuit"
@@ -165,7 +166,23 @@ func (r *Runner) EstimateStream(ctx context.Context, src GateStream) (*EstimateR
 	}
 	ar := r.arena()
 	defer r.release(ar)
-	return r.est.EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+	return estimateStreamPhased(r.est, &ctxStream{src: src, ctx: ctx}, ar)
+}
+
+// estimateStreamPhased is EstimateStreamArena with the analyze/estimate
+// boundary reported to the phase observer; the split composition is bitwise
+// identical to the fused call.
+func estimateStreamPhased(est *core.Estimator, src GateStream, ar *analysis.Arena) (*EstimateResult, error) {
+	t := time.Now()
+	a, err := est.AnalyzeStreamFT(src, ar)
+	observePhase(PhaseAnalyze, t)
+	if err != nil {
+		return nil, err
+	}
+	t = time.Now()
+	res, err := est.EstimateAnalysisArena(a, ar)
+	observePhase(PhaseEstimate, t)
+	return res, err
 }
 
 // EstimateStreamWith is EstimateStream under an explicit parameter set —
@@ -182,13 +199,15 @@ func (r *Runner) EstimateStreamWith(ctx context.Context, src GateStream, p Param
 	}
 	ar := r.arena()
 	defer r.release(ar)
-	return est.EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+	return estimateStreamPhased(est, &ctxStream{src: src, ctx: ctx}, ar)
 }
 
 // estimateSource opens one lazy source and estimates its stream — the
 // per-item work of the source sweeps.
 func (r *Runner) estimateSource(ctx context.Context, s Source) (*EstimateResult, error) {
+	t := time.Now()
 	src, err := s.Open()
+	observePhase(PhaseIngest, t)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +281,9 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 				return
 			}
 			defer closeStream(src)
+			t := time.Now()
 			la.a, la.err = analysis.AnalyzeStream(&ctxStream{src: src, ctx: ctx})
+			observePhase(PhaseAnalyze, t)
 		})
 		return la.a, la.err
 	}
@@ -290,7 +311,7 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 				return cell
 			}
 			defer closeStream(src)
-			cell.Result, cell.Err = ests[j].EstimateStreamArena(&ctxStream{src: src, ctx: ctx}, ar)
+			cell.Result, cell.Err = estimateStreamPhased(ests[j], &ctxStream{src: src, ctx: ctx}, ar)
 			return cell
 		}
 		a, aerr := analyze(i)
@@ -300,7 +321,9 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 		case ctx.Err() != nil:
 			cell.Err = ctx.Err()
 		default:
+			t := time.Now()
 			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
+			observePhase(PhaseEstimate, t)
 		}
 		return cell
 	}, emit)

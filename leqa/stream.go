@@ -3,6 +3,7 @@ package leqa
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/pool"
@@ -53,7 +54,9 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 			if la.err = ftError(c); la.err != nil {
 				return
 			}
+			t := time.Now()
 			la.a, la.err = analysis.Analyze(c)
+			observePhase(PhaseAnalyze, t)
 		})
 		return la.a, la.err
 	}
@@ -68,7 +71,10 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 		if err := ftError(c); err != nil {
 			return nil, err
 		}
-		return ar.Analyze(c)
+		t := time.Now()
+		a, err := ar.Analyze(c)
+		observePhase(PhaseAnalyze, t)
+		return a, err
 	}
 
 	// Stream the cross product. Every slot is dispatched even after
@@ -102,7 +108,9 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 		case ctx.Err() != nil:
 			cell.Err = ctx.Err()
 		default:
+			t := time.Now()
 			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
+			observePhase(PhaseEstimate, t)
 		}
 		return cell
 	}, emit)

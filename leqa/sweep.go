@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/benchgen"
@@ -64,6 +65,9 @@ func (r *Runner) arena() *analysis.Arena {
 		sweepWorkers = 1
 	}
 	ar.Path().MaxWorkers = sweepWorkers
+	// The analysis build's shard gang divides the machine the same way the
+	// sweep gang does — one even share per in-flight estimate.
+	ar.MaxShards = sweepWorkers
 	return ar
 }
 
@@ -118,7 +122,9 @@ func (r *Runner) RunNamed(ctx context.Context, names []string) ([]SweepResult, e
 // RunNamedStream share.
 func (r *Runner) generateAndEstimate(i int, name string) SweepResult {
 	sr := SweepResult{Index: i, Name: name}
+	t := time.Now()
 	c, err := benchgen.GenerateFT(name)
+	observePhase(PhaseIngest, t)
 	if err != nil {
 		sr.Err = fmt.Errorf("leqa: generating %q: %w", name, err)
 		return sr
@@ -144,11 +150,16 @@ func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
 	}
 	ar := r.arena()
 	defer r.release(ar)
+	t := time.Now()
 	a, err := ar.Analyze(c)
+	observePhase(PhaseAnalyze, t)
 	if err != nil {
 		return nil, err
 	}
-	return r.est.EstimateAnalysisArena(a, ar)
+	t = time.Now()
+	res, err := r.est.EstimateAnalysisArena(a, ar)
+	observePhase(PhaseEstimate, t)
+	return res, err
 }
 
 // run fans the per-item work across the shared pool primitive and collects
