@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/iig"
 	"repro/internal/ingest"
+	"repro/internal/qcbin"
 	"repro/internal/qodg"
 	"repro/internal/qspr"
 	"repro/internal/stats"
@@ -456,6 +458,113 @@ func BenchmarkAnalyzeStream(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIngestBinary compares parse+analyze across the netlist
+// containers on gf2^128mult — textual .qc, binary .qcb and gzipped .qcb,
+// all through the magic-byte sniffing entry point — then the
+// content-addressed store paths on top: a warm store hit (one digest pass
+// over the .qcb, no graph build) and a by-reference estimate (no ingest at
+// all), against the storeless cold cell that pays ingest+analyze+estimate
+// every time. The .qcb acceptance bar is ≥2× over the textual parse.
+func BenchmarkIngestBinary(b *testing.B) {
+	const name = "gf2^128mult"
+	c := ftCircuit(b, name)
+	var qcBuf bytes.Buffer
+	if err := circuit.WriteQC(&qcBuf, c); err != nil {
+		b.Fatal(err)
+	}
+	var qcbBuf bytes.Buffer
+	if err := qcbin.EncodeCircuit(&qcbBuf, c); err != nil {
+		b.Fatal(err)
+	}
+	var gzBuf bytes.Buffer
+	zw := gzip.NewWriter(&gzBuf)
+	if _, err := zw.Write(qcbBuf.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Arena-backed analysis for every container, exactly like the runner's
+	// pooled workers: the recycled buffers take allocator and GC noise out
+	// of the shared build cost, so the containers' parse work — the thing
+	// under comparison — dominates each number.
+	analyze := func(label string, data []byte) {
+		b.Run(label, func(b *testing.B) {
+			ar := analysis.NewArena()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				sc, err := ingest.NewAutoStream(bytes.NewReader(data), name, ingest.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ar.AnalyzeStream(sc); err != nil {
+					b.Fatal(err)
+				}
+				sc.Close()
+			}
+		})
+	}
+	analyze("AnalyzeQC", qcBuf.Bytes())
+	analyze("AnalyzeQCB", qcbBuf.Bytes())
+	analyze("AnalyzeQCBGz", gzBuf.Bytes())
+
+	ctx := context.Background()
+	params := []leqa.Params{leqa.DefaultParams()}
+	qcbSource := func() []leqa.Source {
+		return []leqa.Source{leqa.ReaderSource(name, bytes.NewReader(qcbBuf.Bytes()), leqa.IngestOptions{})}
+	}
+	gridCell := func(b *testing.B, r *leqa.Runner, src func() []leqa.Source) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cells, err := r.SweepGridSources(ctx, src(), params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cells[0].Err != nil {
+				b.Fatal(cells[0].Err)
+			}
+		}
+	}
+
+	cold, err := leqa.NewRunner(params[0], leqa.EstimateOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ColdCellQCB", func(b *testing.B) { gridCell(b, cold, qcbSource) })
+
+	warm, err := leqa.NewRunner(params[0], leqa.EstimateOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := leqa.NewAnalysisStore(leqa.AnalysisStoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.SetAnalysisStore(st)
+	seed, err := warm.SweepGridSources(ctx, qcbSource(), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if seed[0].Err != nil {
+		b.Fatal(seed[0].Err)
+	}
+	b.Run("StoreHitCellQCB", func(b *testing.B) { gridCell(b, warm, qcbSource) })
+
+	digest, err := leqa.CircuitDigest(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := st.Get(digest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	byRef := func() []leqa.Source { return []leqa.Source{leqa.AnalysisSource(name, a)} }
+	b.Run("ByRefCell", func(b *testing.B) { gridCell(b, warm, byRef) })
 }
 
 // retainedBytes measures the live-heap delta pinned by build's result: GC,

@@ -38,6 +38,12 @@
 //	                  (default 65536; env LEQA_PARALLEL_THRESHOLD)
 //	-shard-threshold N     analysis shard-parallel threshold in gates; 0
 //	                  disables sharding (default 65536; env LEQA_SHARD_THRESHOLD)
+//	-store-dir DIR    content-addressed analysis store directory: analyses
+//	                  persist as .qca images and later runs skip the graph
+//	                  build for already-seen circuits (env LEQA_STORE_DIR)
+//	-store-mem N      store memory-tier entry cap (env LEQA_STORE_MEM)
+//	-store-disk N     store disk byte cap, 0 = unbounded
+//	                  (env LEQA_STORE_DISK_BYTES)
 //	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
 //	-verbose          print model intermediates and cache statistics
@@ -130,6 +136,9 @@ func run() error {
 		workers      = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		parThresh    = flag.Int("parallel-threshold", -1, "critical-path parallel sweep threshold in nodes (-1 = default or $LEQA_PARALLEL_THRESHOLD)")
 		shardThresh  = flag.Int("shard-threshold", -1, "analysis shard-parallel threshold in gates, 0 disables sharding (-1 = default or $LEQA_SHARD_THRESHOLD)")
+		storeDir     = flag.String("store-dir", "", "analysis store directory: reuse persisted .qca analysis images across runs (default $LEQA_STORE_DIR)")
+		storeMem     = flag.Int("store-mem", -1, "analysis store memory-tier entry cap (-1 = default or $LEQA_STORE_MEM)")
+		storeDisk    = flag.Int64("store-disk", -1, "analysis store disk byte cap, 0 = unbounded (-1 = default or $LEQA_STORE_DISK_BYTES)")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
 		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
@@ -258,6 +267,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// A store directory turns repeat invocations into "parse once, estimate
+	// forever": every input is digested and resolved against the persisted
+	// .qca images, so only never-seen circuits pay for analysis. The sources
+	// engine carries materialized circuits through the store too.
+	storeOpt, err := leqa.StoreOptionsFromEnv(leqa.AnalysisStoreOptions{})
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		storeOpt.Dir = *storeDir
+	}
+	if *storeMem >= 0 {
+		storeOpt.MemEntries = *storeMem
+	}
+	if *storeDisk >= 0 {
+		storeOpt.MaxDiskBytes = *storeDisk
+	}
+	if storeOpt.Dir != "" {
+		st, err := leqa.NewAnalysisStore(storeOpt)
+		if err != nil {
+			return err
+		}
+		runner.SetAnalysisStore(st)
+		streaming = true
+	}
 	var cells []leqa.GridCell
 	if streaming {
 		cells, err = runner.SweepGridSources(ctx, sources, paramSets)
@@ -285,6 +319,11 @@ func run() error {
 	if len(cells) > 1 || *verbose {
 		st := leqa.ZoneModelCacheStats()
 		fmt.Fprintf(os.Stderr, "zone-model cache: %s\n", st)
+	}
+	if *verbose {
+		if st := runner.AnalysisStore(); st != nil {
+			fmt.Fprintf(os.Stderr, "analysis store: %+v\n", st.Stats())
+		}
 	}
 	return err
 }

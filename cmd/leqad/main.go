@@ -13,8 +13,12 @@
 //	POST /v1/sweep       many circuits, one parameter set; streams rows
 //	POST /v1/grid        circuits × paramSets; streams rows (NDJSON, or SSE
 //	                     when the request accepts text/event-stream)
+//	PUT  /v1/circuits    upload a netlist (.qc or binary .qcb, either gzipped)
+//	                     into the content-addressed analysis store; returns
+//	                     its sha256 digest for {"ref": "sha256:..."} specs
+//	GET  /v1/circuits/{digest}  stored-circuit metadata (HEAD: existence)
 //	GET  /v1/benchmarks  generator catalog
-//	GET  /healthz        build info + zone-model cache statistics
+//	GET  /healthz        build info + store and zone-model cache statistics
 //	GET  /metrics        Prometheus-style per-endpoint request/row/latency
 //
 // Every request funnels through one shared leqa.Runner, so all estimates
@@ -42,6 +46,11 @@
 //	                 (default 65536; env LEQA_PARALLEL_THRESHOLD)
 //	-shard-threshold     analysis shard-parallel threshold in gates; 0
 //	                 disables sharding (default 65536; env LEQA_SHARD_THRESHOLD)
+//	-store-dir       analysis store disk directory — persisted .qca images
+//	                 survive restarts (env LEQA_STORE_DIR; empty = memory-only)
+//	-store-mem       analysis store memory-tier entry cap (env LEQA_STORE_MEM)
+//	-store-disk      analysis store disk byte cap, 0 = unbounded
+//	                 (env LEQA_STORE_DISK_BYTES)
 //
 // Raw .qc uploads on /v1/estimate stream through internal/ingest: the
 // netlist is parsed gate by gate and spooled to disk for the analyzer's
@@ -98,6 +107,9 @@ func run() error {
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		parThresh     = flag.Int("parallel-threshold", -1, "critical-path parallel sweep threshold in nodes (-1 = default or $LEQA_PARALLEL_THRESHOLD)")
 		shardThresh   = flag.Int("shard-threshold", -1, "analysis shard-parallel threshold in gates, 0 disables sharding (-1 = default or $LEQA_SHARD_THRESHOLD)")
+		storeDir      = flag.String("store-dir", "", "analysis store disk directory; persisted .qca images survive restarts (default $LEQA_STORE_DIR or memory-only)")
+		storeMem      = flag.Int("store-mem", -1, "analysis store memory-tier entry cap (-1 = default or $LEQA_STORE_MEM)")
+		storeDisk     = flag.Int64("store-disk", -1, "analysis store disk-tier byte cap, 0 = unbounded (-1 = default or $LEQA_STORE_DISK_BYTES)")
 	)
 	flag.Parse()
 
@@ -111,6 +123,22 @@ func run() error {
 	}
 	if *shardThresh >= 0 {
 		leqa.SetShardThreshold(*shardThresh)
+	}
+
+	// Analysis store: environment first, explicit flags override, exactly
+	// like the tuning knobs above.
+	storeOpt, err := leqa.StoreOptionsFromEnv(leqa.AnalysisStoreOptions{})
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		storeOpt.Dir = *storeDir
+	}
+	if *storeMem >= 0 {
+		storeOpt.MemEntries = *storeMem
+	}
+	if *storeDisk >= 0 {
+		storeOpt.MaxDiskBytes = *storeDisk
 	}
 
 	params := leqa.DefaultParams()
@@ -128,17 +156,20 @@ func run() error {
 
 	logger := log.New(os.Stderr, "leqad: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		Params:        params,
-		Options:       leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion},
-		Workers:       *workers,
-		MaxBodyBytes:  *maxBody,
-		MaxSpoolBytes: *maxSpool,
-		SpoolDir:      *spoolDir,
-		MaxGates:      *maxGates,
-		MaxCells:      *maxCells,
-		MaxConcurrent: *maxConcurrent,
-		Version:       version,
-		Log:           logger,
+		Params:            params,
+		Options:           leqa.EstimateOptions{Truncation: *truncation, DisableCongestion: *noCongestion},
+		Workers:           *workers,
+		MaxBodyBytes:      *maxBody,
+		MaxSpoolBytes:     *maxSpool,
+		SpoolDir:          *spoolDir,
+		MaxGates:          *maxGates,
+		MaxCells:          *maxCells,
+		MaxConcurrent:     *maxConcurrent,
+		StoreDir:          storeOpt.Dir,
+		StoreMemEntries:   storeOpt.MemEntries,
+		StoreMaxDiskBytes: storeOpt.MaxDiskBytes,
+		Version:           version,
+		Log:               logger,
 	})
 	if err != nil {
 		return err

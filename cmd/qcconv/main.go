@@ -1,0 +1,236 @@
+// Command qcconv converts quantum netlists between LEQA's containers: the
+// textual .qc format and the compact binary .qcb format (typically 5–10×
+// smaller, and parsed without tokenization), either side gzip-wrapped.
+//
+// Usage:
+//
+//	qcconv [flags] <input> <output>
+//
+// The input container is sniffed by magic bytes — .qc text, binary .qcb, or
+// either gzipped — never by file name; "-" reads stdin. The output format is
+// inferred from the output suffix (.qcb[.gz] → binary, .qc[.gz] → text) or
+// forced with -to; "-" writes stdout. Text → binary conversion streams gate
+// by gate in O(1) memory; conversions that emit text (or rename the circuit)
+// materialize the gate list first.
+//
+// Flags:
+//
+//	-to qc|qcb   output format when the suffix doesn't say (required for "-")
+//	-gzip        gzip-wrap the output (implied by a .gz output suffix)
+//	-name NAME   override the circuit name recorded in the output; the name
+//	             is part of the content digest, so this changes the digest
+//	-verify      re-open the written file and check its content digest
+//	             matches the source — a bitwise round-trip guarantee
+//	             (text .qc output carries no name in the container, so the
+//	             re-read happens under the source circuit's name)
+//
+// The content digest (sha256 of the canonical gate records) is container
+// independent, so a -verify'd conversion stores and estimates identically to
+// its source: PUT either file to leqad and the store replies with the same
+// sha256:... reference.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/ingest"
+	"repro/internal/qcbin"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qcconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		to     = flag.String("to", "", "output format: qc or qcb (default: inferred from the output suffix)")
+		gz     = flag.Bool("gzip", false, "gzip-wrap the output (implied by a .gz output suffix)")
+		name   = flag.String("name", "", "override the circuit name recorded in the output (changes the content digest)")
+		verify = flag.Bool("verify", false, "re-open the output and check its content digest matches the source")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: qcconv [flags] <input> <output>  (either may be \"-\")")
+	}
+	inPath, outPath := flag.Arg(0), flag.Arg(1)
+	format, gzOut, err := outputFormat(outPath, *to, *gz)
+	if err != nil {
+		return err
+	}
+	if *verify && outPath == "-" {
+		return fmt.Errorf("-verify needs a re-readable output file, not stdout")
+	}
+
+	var sc ingest.Stream
+	if inPath == "-" {
+		sc, err = ingest.NewAutoStream(os.Stdin, "stdin", ingest.Options{})
+	} else {
+		sc, err = ingest.Open(inPath, ingest.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+
+	// Text output and renames need the materialized gate list; binary
+	// output without a rename streams straight through the encoder.
+	var mat *circuit.Circuit
+	if format == "qc" || *name != "" {
+		if mat, err = sc.Materialize(); err != nil {
+			return err
+		}
+		if *name != "" {
+			mat.Name = *name
+		}
+	}
+
+	// The digest the -verify pass must find in the written file. Computed
+	// before encoding: qcbin.Encode rewinds the stream itself, so leaving
+	// it at end-of-stream here is fine.
+	var want string
+	if *verify {
+		if mat != nil {
+			want, err = qcbin.DigestCircuit(mat)
+		} else {
+			want, err = qcbin.Digest(sc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if outPath != "-" {
+		if outFile, err = os.Create(outPath); err != nil {
+			return err
+		}
+		w = outFile
+	}
+	cw := &countingWriter{w: w}
+	if err := encode(cw, format, gzOut, sc, mat); err != nil {
+		if outFile != nil {
+			outFile.Close()
+			os.Remove(outPath)
+		}
+		return err
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+	}
+
+	gates := sc.GateIndex() + 1
+	qubits := sc.NumQubits()
+	srcName := sc.Name()
+	if mat != nil {
+		gates, qubits, srcName = mat.NumGates(), mat.NumQubits(), mat.Name
+	}
+	fmt.Fprintf(os.Stderr, "qcconv: wrote %s: %d qubits, %d gates, %d bytes\n", outPath, qubits, gates, cw.n)
+
+	if *verify {
+		got, gotGates, err := digestFile(outPath, srcName)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if got != want {
+			return fmt.Errorf("verify: round-trip digest mismatch: source %s, output %s", qcbin.FormatRef(want), qcbin.FormatRef(got))
+		}
+		if gotGates != gates {
+			return fmt.Errorf("verify: round-trip gate count mismatch: source %d, output %d", gates, gotGates)
+		}
+		fmt.Fprintf(os.Stderr, "qcconv: verified %s\n", qcbin.FormatRef(got))
+	}
+	return nil
+}
+
+// encode writes the circuit to w in the requested format, gzip-wrapping
+// when asked. Streaming (src) is used for binary output unless a
+// materialized circuit was prepared.
+func encode(w io.Writer, format string, gzOut bool, src ingest.Stream, mat *circuit.Circuit) error {
+	if gzOut {
+		zw := gzip.NewWriter(w)
+		if err := encode(zw, format, false, src, mat); err != nil {
+			return err
+		}
+		return zw.Close()
+	}
+	switch {
+	case format == "qc":
+		return circuit.WriteQC(w, mat)
+	case mat != nil:
+		return qcbin.EncodeCircuit(w, mat)
+	default:
+		return qcbin.Encode(w, src)
+	}
+}
+
+// digestFile sniffs path and computes its content digest and gate count.
+// The caller supplies the fallback circuit name: a textual .qc container
+// carries no name, so re-reading it under the path-derived name would
+// change the digest even though the gate content round-tripped.
+func digestFile(path, name string) (digest string, gates int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	sc, err := ingest.NewAutoStream(f, name, ingest.Options{})
+	if err != nil {
+		return "", 0, err
+	}
+	defer sc.Close()
+	d, err := qcbin.Digest(sc)
+	if err != nil {
+		return "", 0, err
+	}
+	return d, sc.GateIndex() + 1, nil
+}
+
+// outputFormat resolves the output container from the path suffix, the -to
+// override and the -gzip flag.
+func outputFormat(path, to string, gz bool) (string, bool, error) {
+	p := path
+	if strings.HasSuffix(p, ".gz") {
+		gz = true
+		p = strings.TrimSuffix(p, ".gz")
+	}
+	if to == "" {
+		switch {
+		case strings.HasSuffix(p, ".qcb"):
+			to = "qcb"
+		case strings.HasSuffix(p, ".qc"):
+			to = "qc"
+		case path == "-":
+			return "", false, fmt.Errorf("-to qc|qcb is required when writing to stdout")
+		default:
+			return "", false, fmt.Errorf("cannot infer the output format from %q; pass -to qc|qcb", path)
+		}
+	}
+	if to != "qc" && to != "qcb" {
+		return "", false, fmt.Errorf("-to %q: want qc or qcb", to)
+	}
+	return to, gz, nil
+}
+
+// countingWriter counts the bytes reaching the output file or stdout.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

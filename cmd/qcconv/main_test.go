@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ingest"
+	"repro/internal/qcbin"
+)
+
+const testQC = ".v a b c\n.i a b c\nBEGIN\nH a\nCNOT a b\nT c\nCNOT b c\nEND\n"
+
+func TestOutputFormat(t *testing.T) {
+	cases := []struct {
+		path, to string
+		gz       bool
+		format   string
+		wantGz   bool
+		wantErr  bool
+	}{
+		{path: "x.qcb", format: "qcb"},
+		{path: "x.qc", format: "qc"},
+		{path: "x.qcb.gz", format: "qcb", wantGz: true},
+		{path: "x.qc.gz", format: "qc", wantGz: true},
+		{path: "x.qc", gz: true, format: "qc", wantGz: true},
+		{path: "-", to: "qcb", format: "qcb"},
+		{path: "weird.bin", to: "qc", format: "qc"},
+		{path: "-", wantErr: true},
+		{path: "weird.bin", wantErr: true},
+		{path: "x.qcb", to: "elf", wantErr: true},
+	}
+	for _, c := range cases {
+		format, gz, err := outputFormat(c.path, c.to, c.gz)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("outputFormat(%q, %q, %v): want error, got %q", c.path, c.to, c.gz, format)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("outputFormat(%q, %q, %v): %v", c.path, c.to, c.gz, err)
+			continue
+		}
+		if format != c.format || gz != c.wantGz {
+			t.Errorf("outputFormat(%q, %q, %v) = (%q, %v), want (%q, %v)",
+				c.path, c.to, c.gz, format, gz, c.format, c.wantGz)
+		}
+	}
+}
+
+// TestEncodeRoundTrip drives the conversion core through every output
+// container and checks each re-reads to the source's content digest.
+func TestEncodeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tiny.qc")
+	if err := os.WriteFile(src, []byte(testQC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := circuit.ParseQC(bytes.NewReader([]byte(testQC)), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := qcbin.DigestCircuit(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		out    string
+		format string
+		gz     bool
+	}{
+		{"out.qcb", "qcb", false},
+		{"out.qcb.gz", "qcb", true},
+		{"out2.qc", "qc", false},
+		{"out2.qc.gz", "qc", true},
+	} {
+		sc, err := ingest.Open(src, ingest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mat *circuit.Circuit
+		if c.format == "qc" {
+			if mat, err = sc.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		outPath := filepath.Join(dir, c.out)
+		f, err := os.Create(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := encode(f, c.format, c.gz, sc, mat); err != nil {
+			t.Fatalf("encode %s: %v", c.out, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sc.Close()
+
+		got, gates, err := digestFile(outPath, "tiny")
+		if err != nil {
+			t.Fatalf("digestFile %s: %v", c.out, err)
+		}
+		if got != want {
+			t.Errorf("%s: digest %s, want %s", c.out, got, want)
+		}
+		if gates != parsed.NumGates() {
+			t.Errorf("%s: %d gates, want %d", c.out, gates, parsed.NumGates())
+		}
+	}
+}

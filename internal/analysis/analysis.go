@@ -51,6 +51,28 @@ type Analysis struct {
 	lastWriter []qodg.NodeID
 }
 
+// LastWriter exposes the dependency scan's final per-qubit last-writer
+// state (0 = start anchor) for serialization. The slice is live analysis
+// state; treat it as read-only.
+func (a *Analysis) LastWriter() []qodg.NodeID { return a.lastWriter }
+
+// Restore reassembles an Analysis from previously serialized parts — the
+// decode path of internal/qcbin's binary Analysis image. The result is
+// shaped exactly like an AnalyzeStream product: Circuit is nil, QODG nodes
+// carry operand-free gates, and lastWriter seeds NewAppender, so estimates
+// and appends behave identically to a freshly analyzed stream.
+func Restore(name string, qubits, operations int, ft bool, g *qodg.Graph, ig *iig.Graph, lastWriter []qodg.NodeID) *Analysis {
+	return &Analysis{
+		Name:       name,
+		Qubits:     qubits,
+		Operations: operations,
+		FT:         ft,
+		QODG:       g,
+		IIG:        ig,
+		lastWriter: lastWriter,
+	}
+}
+
 // Analyze builds both graphs in one streaming pass over the gate list. The
 // circuit must be decomposed to one- and two-qubit gates: wider gates are
 // rejected (the IIG is undefined on them), exactly as iig.Build does.

@@ -170,11 +170,11 @@ func TestAnalyzeShardedFuzzCuts(t *testing.T) {
 		}
 
 		cutTables := [][]int{
-			{0, 0, n},          // empty leading shard
-			{0, n, n},          // empty trailing shard
-			{0, 0, 0, n},       // two empty leading shards
+			{0, 0, n},            // empty leading shard
+			{0, n, n},            // empty trailing shard
+			{0, 0, 0, n},         // two empty leading shards
 			{0, n / 2, n / 2, n}, // empty middle shard
-			{0, n - n/8, n},    // suffix-only second shard
+			{0, n - n/8, n},      // suffix-only second shard
 		}
 		// Random monotone cut tables, biased to land inside gate runs.
 		for i := 0; i < 4; i++ {

@@ -61,6 +61,11 @@ func (s *CircuitStream) Rewind() error      { s.i = -1; return nil }
 func (s *CircuitStream) NumQubits() int     { return s.c.NumQubits() }
 func (s *CircuitStream) Name() string       { return s.c.Name }
 
+// Register exposes the backing circuit's qubit register — the same optional
+// capability ingest.Scanner offers, letting encoders recover real qubit
+// names from a materialized stream.
+func (s *CircuitStream) Register() *circuit.Circuit { return s.c }
+
 // SegmentedStream is a GateStream that can replay itself as concurrent
 // contiguous segments — the capability the shard-parallel fill pass of
 // AnalyzeStream needs. Sources that can seek (materialized circuits,
@@ -78,6 +83,29 @@ type SegmentedStream interface {
 	// serially. Segments is only meaningful after a full pass has fixed
 	// the stream's size.
 	Segments(max int) ([]GateStream, []int, error)
+}
+
+// PrevalidatedStream is an optional GateStream capability: a stream whose
+// Scan contract guarantees that every yielded gate already passes
+// circuit.Gate.Validate against the stream's register. The ingest text
+// scanner (its line parser validates each statement as it is parsed) and
+// the qcbin binary decoder (decode-time opcode, shape, range and
+// distinctness checks) both qualify, so the analysis passes skip the
+// redundant per-gate re-validation — a meaningful share of the build on
+// pre-parsed containers. The two-qubit arity cap and the replay gate-count
+// check are still enforced for every stream, and an out-of-range operand
+// from a stream that lies about this trips a bounds panic in the degree
+// arrays rather than corrupting rows silently.
+type PrevalidatedStream interface {
+	// PrevalidatedGates reports whether every gate the stream yields is
+	// already validated against the stream's register.
+	PrevalidatedGates() bool
+}
+
+// gatesPrevalidated reports whether src opts out of per-gate re-validation.
+func gatesPrevalidated(src GateStream) bool {
+	p, ok := src.(PrevalidatedStream)
+	return ok && p.PrevalidatedGates()
 }
 
 // circuitSegment is CircuitStream's segment: a window [lo, hi) of the gate
@@ -172,6 +200,7 @@ func analyzeStreamK(src GateStream, ar *Arena, forceK int) (*Analysis, error) {
 	// range without knowing the gate count up front.
 	ft := true
 	nGates := 0
+	trusted := gatesPrevalidated(src)
 	for src.Scan() {
 		g := src.Gate()
 		id := qodg.NodeID(nGates + 1)
@@ -179,7 +208,7 @@ func analyzeStreamK(src GateStream, ar *Arena, forceK int) (*Analysis, error) {
 		predDeg = growKeep(predDeg, nGates+2)
 		q := src.NumQubits()
 		scan.GrowTo(q)
-		if err := validateStreamGate(src, nGates, g, q); err != nil {
+		if err := validateStreamGate(src, nGates, g, q, trusted); err != nil {
 			return nil, err
 		}
 		if g.Arity() == 2 {
@@ -267,7 +296,7 @@ func analyzeStreamK(src GateStream, ar *Arena, forceK int) (*Analysis, error) {
 			if filled >= nGates {
 				return nil, replayError(src, nGates)
 			}
-			if err := validateStreamGate(src, filled, g, numQ); err != nil {
+			if err := validateStreamGate(src, filled, g, numQ, trusted); err != nil {
 				return nil, err
 			}
 			id := qodg.NodeID(filled + 1)
@@ -395,13 +424,14 @@ func fillStreamSharded(src SegmentedStream, ar *Arena, k, nGates, numQ int,
 		}
 		s := segs[si]
 		i := cuts[si]
+		trusted := gatesPrevalidated(s)
 		for s.Scan() {
 			g := s.Gate()
 			if i >= cuts[si+1] {
 				sc.valErr = replayError(src, nGates)
 				return
 			}
-			if err := validateStreamGate(src, i, g, numQ); err != nil {
+			if err := validateStreamGate(src, i, g, numQ, trusted); err != nil {
 				sc.valErr = err
 				return
 			}
@@ -486,9 +516,14 @@ func fillStreamSharded(src SegmentedStream, ar *Arena, k, nGates, numQ int,
 // from Circuit.Validate plus the analysis-layer arity constraint, with the
 // same error shapes. It also shields the CSR cursors from a misbehaving
 // stream: an out-of-range operand would otherwise corrupt rows silently.
-func validateStreamGate(src GateStream, i int, g circuit.Gate, numQubits int) error {
-	if err := g.Validate(numQubits); err != nil {
-		return fmt.Errorf("circuit %q: gate %d: %w", src.Name(), i, err)
+// Streams that advertise PrevalidatedStream skip the Gate.Validate half —
+// their decoders already ran the identical checks per gate — but keep the
+// arity cap, which is an analysis-layer constraint, not a gate-validity one.
+func validateStreamGate(src GateStream, i int, g circuit.Gate, numQubits int, trusted bool) error {
+	if !trusted {
+		if err := g.Validate(numQubits); err != nil {
+			return fmt.Errorf("circuit %q: gate %d: %w", src.Name(), i, err)
+		}
 	}
 	if g.Arity() > 2 {
 		return fmt.Errorf("analysis: gate %d (%s) touches %d qubits; decompose first",

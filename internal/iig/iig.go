@@ -175,6 +175,57 @@ func fromIncidence(q int, off []int32, nbr []int32, sc *Scratch, clone bool) *Gr
 	return g
 }
 
+// Rows exposes the graph's collapsed CSR storage — q+1 row offsets, the
+// sorted distinct-neighbor array and the parallel weight array — for
+// serialization (internal/qcbin writes them verbatim). The slices are live
+// graph storage; treat them as read-only.
+func (g *Graph) Rows() (off, nbr, wt []int32) { return g.off, g.nbr, g.wt }
+
+// FromCSRWeights assembles a Graph directly from already-collapsed CSR
+// rows: off holds q+1 offsets into nbr/wt, each row's neighbors are sorted
+// ascending and distinct, and weights are symmetric (w(a,b) recorded in
+// both rows). The per-qubit adjacent-weight sums and the total weight are
+// recomputed here, so a graph decoded from a serialized image carries
+// exactly the derived quantities FromIncidence would have produced. The
+// input slices are adopted, not copied.
+func FromCSRWeights(q int, off, nbr, wt []int32) (*Graph, error) {
+	if len(off) != q+1 || len(nbr) != len(wt) {
+		return nil, fmt.Errorf("iig: CSR shape mismatch: %d offsets for %d qubits, %d neighbors vs %d weights",
+			len(off), q, len(nbr), len(wt))
+	}
+	if q > 0 && int(off[q]) != len(nbr) {
+		return nil, fmt.Errorf("iig: CSR offsets end at %d, want %d", off[q], len(nbr))
+	}
+	g := &Graph{Q: q, off: off, nbr: nbr, wt: wt, adjw: make([]int32, q)}
+	total := 0
+	for i := 0; i < q; i++ {
+		if off[i] < 0 || off[i] > off[i+1] {
+			return nil, fmt.Errorf("iig: row %d offsets [%d,%d) malformed", i, off[i], off[i+1])
+		}
+		sum := int32(0)
+		for k := off[i]; k < off[i+1]; k++ {
+			if n := nbr[k]; n < 0 || int(n) >= q || n == int32(i) {
+				return nil, fmt.Errorf("iig: row %d neighbor %d out of range [0,%d)", i, n, q)
+			}
+			if k > off[i] && nbr[k] <= nbr[k-1] {
+				return nil, fmt.Errorf("iig: row %d neighbors not sorted/distinct at %d", i, k)
+			}
+			if wt[k] <= 0 {
+				return nil, fmt.Errorf("iig: row %d weight %d must be positive", i, wt[k])
+			}
+			sum += wt[k]
+		}
+		g.adjw[i] = sum
+		total += int(sum)
+	}
+	// Each unordered pair's weight is recorded in both endpoint rows.
+	if total%2 != 0 {
+		return nil, fmt.Errorf("iig: asymmetric CSR weights (odd total %d)", total)
+	}
+	g.totalWeight = total / 2
+	return g, nil
+}
+
 // Extend builds a new immutable Graph from an existing one plus extra
 // unit-weight interactions, given as flat (a, b) pairs over the same
 // register. The result is exactly what Build would produce on the

@@ -103,7 +103,9 @@ type Scanner struct {
 	gateIndex int
 	err       error
 	closed    bool
-	ownsFile  *os.File // set by Open; closed by Close
+	ownsFile  *os.File    // set by Open; closed by Close
+	extra     []io.Closer // container resources (files, inflate spools) released by Close
+	inflated  int64       // bytes a gzip container inflated to disk on this stream's behalf
 
 	// Replay checkpoints, recorded during the first complete pass so later
 	// passes can be split into concurrent segments (Segments).
@@ -135,20 +137,31 @@ func NewScanner(r io.Reader, name string, opt Options) *Scanner {
 	return s
 }
 
-// Open returns a file-backed Scanner, naming the circuit after the file the
-// way circuit.LoadQCFile does. Close releases the file.
-func Open(path string, opt Options) (*Scanner, error) {
+// Open returns a file-backed gate stream, naming the circuit after the
+// file the way circuit.LoadQCFile does. The container is detected by magic
+// bytes, not extension: textual .qc, binary .qcb and gzip-wrapped either
+// way all decode transparently. Close releases the file (and any inflate
+// spool).
+func Open(path string, opt Options) (Stream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := NewScanner(f, circuit.QCBaseName(path), opt)
-	s.ownsFile = f
-	return s, nil
+	st, err := sniffSeekable(f, netlistName(path), opt, true, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
 }
 
 // Name reports the netlist label.
 func (s *Scanner) Name() string { return s.name }
+
+// PrevalidatedGates implements analysis.PrevalidatedStream: the line parser
+// validates every gate as it is parsed (circuit.Gate.Validate against the
+// register, which only grows), so the analysis passes need not re-check.
+func (s *Scanner) PrevalidatedGates() bool { return true }
 
 // NumQubits reports the register size declared or auto-declared so far; it
 // is final once a pass has consumed the whole stream.
@@ -169,9 +182,10 @@ func (s *Scanner) BytesRead() int64 {
 	return s.srcSize
 }
 
-// SpooledBytes reports how many bytes went to the on-disk spool (0 for
-// seekable sources).
-func (s *Scanner) SpooledBytes() int64 { return s.spooled }
+// SpooledBytes reports how many bytes went to disk on this stream's
+// behalf: the tee-spool for non-seekable sources plus any gzip inflate
+// spool (0 for plain seekable sources).
+func (s *Scanner) SpooledBytes() int64 { return s.spooled + s.inflated }
 
 // Register exposes the scanner's qubit register as a gate-less circuit —
 // read-only, shared with the live parser.
@@ -296,6 +310,12 @@ func (s *Scanner) Close() error {
 		}
 		s.ownsFile = nil
 	}
+	for _, c := range s.extra {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.extra = nil
 	return err
 }
 

@@ -33,7 +33,7 @@ END
 type pipe struct{ io.Reader }
 
 // collect drains the scanner's current pass into cloned gates.
-func collect(t *testing.T, s *Scanner) []circuit.Gate {
+func collect(t *testing.T, s Stream) []circuit.Gate {
 	t.Helper()
 	var gates []circuit.Gate
 	for s.Scan() {
@@ -80,10 +80,10 @@ func TestScannerMatchesParseQC(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := map[string]*Scanner{
-		"seekable":  NewScanner(strings.NewReader(sampleQC), "sample", Options{}),
-		"pipe":      NewScanner(pipe{strings.NewReader(sampleQC)}, "sample", Options{}),
-		"chunk-1":   NewScanner(strings.NewReader(sampleQC), "sample", Options{ChunkBytes: 1}),
-		"chunk-7":   NewScanner(pipe{strings.NewReader(sampleQC)}, "sample", Options{ChunkBytes: 7}),
+		"seekable": NewScanner(strings.NewReader(sampleQC), "sample", Options{}),
+		"pipe":     NewScanner(pipe{strings.NewReader(sampleQC)}, "sample", Options{}),
+		"chunk-1":  NewScanner(strings.NewReader(sampleQC), "sample", Options{ChunkBytes: 1}),
+		"chunk-7":  NewScanner(pipe{strings.NewReader(sampleQC)}, "sample", Options{ChunkBytes: 7}),
 		"no-final-newline": NewScanner(
 			strings.NewReader(strings.TrimRight(sampleQC, "\n")), "sample", Options{}),
 	}

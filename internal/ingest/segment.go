@@ -182,3 +182,8 @@ func (g *segmentStream) NumQubits() int {
 }
 
 func (g *segmentStream) Name() string { return g.name }
+
+// PrevalidatedGates implements analysis.PrevalidatedStream: segments parse
+// with a forked LineParser over the full cloned register, which validates
+// every gate exactly like the parent scanner's first pass did.
+func (g *segmentStream) PrevalidatedGates() bool { return true }

@@ -340,6 +340,14 @@ func FromCSRSortedInto(dst *Graph, nodes []Node, numQubits int, succOff []int32,
 	}
 }
 
+// CSR exposes the graph's raw adjacency arrays — both offset tables and
+// both edge arrays — for serialization (internal/qcbin writes them verbatim
+// and reassembles with FromCSRSortedInto). The slices are live graph
+// storage; treat them as read-only.
+func (g *Graph) CSR() (succOff []int32, succ []NodeID, predOff []int32, pred []NodeID) {
+	return g.succOff, g.succ, g.predOff, g.pred
+}
+
 // BuildReference is the pre-CSR two-phase builder (per-node append slices,
 // then sort+dedup), retained as the independent oracle for the equivalence
 // suite and as the baseline BenchmarkAnalyze measures the fused CSR pass

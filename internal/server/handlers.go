@@ -36,16 +36,28 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	c, err := s.resolveCircuit(req.CircuitSpec, wantDecompose(req.Options))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	// One 1×1 grid cell: the same engine, memo and record schema as the
-	// batch endpoints.
-	cells, err := runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
+	var cells []leqa.GridCell
+	if req.Ref != "" {
+		// By-reference: estimate straight from the stored analysis — no
+		// netlist bytes, no parsing, no graph build.
+		src, serr := s.resolveSource(req.CircuitSpec, wantDecompose(req.Options))
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		cells, err = runner.SweepGridSources(ctx, []leqa.Source{src}, []leqa.Params{p})
+	} else {
+		c, cerr := s.resolveCircuit(req.CircuitSpec, wantDecompose(req.Options))
+		if cerr != nil {
+			writeError(w, cerr)
+			return
+		}
+		// One 1×1 grid cell: the same engine, memo and record schema as the
+		// batch endpoints.
+		cells, err = runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
+	}
 	if len(cells) == 0 {
 		writeError(w, err)
 		return
@@ -58,12 +70,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cells[0].Record())
 }
 
-// handleEstimateQC estimates a raw .qc upload through the streaming
-// ingestion path: the body is tokenized gate by gate and spooled to disk —
-// not RAM — for the analyzer's second pass, so a chunked upload far past
+// handleEstimateQC estimates a raw netlist upload through the streaming
+// ingestion path: the body is sniffed by magic bytes (.qc text, binary
+// .qcb, either gzipped), tokenized gate by gate and spooled to disk — not
+// RAM — for the analyzer's second pass, so a chunked upload far past
 // MaxBodyBytes estimates in O(analysis) memory. The 413 limit for raw
-// uploads is the disk-spool cap (MaxSpoolBytes); MaxBodyBytes keeps
-// bounding the JSON endpoints and the materialized decompose fallback.
+// uploads is the disk-spool cap (MaxSpoolBytes); a gzip body inflating
+// past it is a 422; MaxBodyBytes keeps bounding the JSON endpoints and
+// the materialized decompose fallback.
 func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ps, err := paramSpecFromQuery(q)
@@ -87,10 +101,14 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	sc := ingest.NewScanner(r.Body, name, ingest.Options{
+	sc, err := ingest.NewAutoStream(r.Body, name, ingest.Options{
 		SpoolDir:      s.cfg.SpoolDir,
 		MaxSpoolBytes: s.cfg.MaxSpoolBytes,
 	})
+	if err != nil {
+		writeError(w, classifyStreamErr(err))
+		return
+	}
 	defer sc.Close()
 	capped := &gateCapStream{src: sc, max: s.cfg.MaxGates}
 	res, err := s.runner.EstimateStreamWith(ctx, capped, p)
@@ -124,7 +142,7 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 // most of the body unread, so the true size is only known after finishing
 // the spool (disk, still bounded by MaxSpoolBytes): materialization is
 // gated on that total, never on the bytes consumed so far.
-func (s *Server) tryDecomposeFallback(ctx context.Context, sc *ingest.Scanner, name string, p leqa.Params) (*leqa.EstimateResult, error) {
+func (s *Server) tryDecomposeFallback(ctx context.Context, sc ingest.Stream, name string, p leqa.Params) (*leqa.EstimateResult, error) {
 	if err := sc.Rewind(); err != nil {
 		return nil, err
 	}
@@ -193,6 +211,13 @@ func (g *gateCapStream) Rewind() error {
 func (g *gateCapStream) NumQubits() int { return g.src.NumQubits() }
 func (g *gateCapStream) Name() string   { return g.src.Name() }
 
+// PrevalidatedGates forwards the wrapped stream's validation guarantee
+// (leqa.PrevalidatedStream): the cap counts gates, it doesn't alter them.
+func (g *gateCapStream) PrevalidatedGates() bool {
+	p, ok := g.src.(leqa.PrevalidatedStream)
+	return ok && p.PrevalidatedGates()
+}
+
 // handleSweep streams one row per circuit under a single parameter set.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req client.SweepRequest
@@ -256,9 +281,21 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint st
 	// Resolve every spec across the engine's pool — generation and FT
 	// lowering are the expensive half of a generated batch, so they should
 	// not serialize on the handler goroutine ahead of the first row — with
-	// the request context observed per spec.
+	// the request context observed per spec. Batches holding by-reference
+	// specs resolve to lazy sources and run the source engine (store-backed
+	// analyses feed cells directly); inline-only batches keep the
+	// materialized engine.
 	decompose := wantDecompose(opts)
+	hasRef := false
+	for i := range specs {
+		if specs[i].Ref != "" {
+			hasRef = true
+			break
+		}
+	}
 	resolved := make([]*leqa.Circuit, len(specs))
+	sources := make([]leqa.Source, len(specs))
+	ok := make([]bool, len(specs))
 	resolveErrs := make([]error, len(specs))
 	names := make([]string, len(specs))
 	pool.ForEach(len(specs), s.runner.Workers(), false, func(i int) error {
@@ -267,26 +304,46 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint st
 			names[i] = specLabel(specs[i], i)
 			return nil
 		}
+		if hasRef {
+			src, serr := s.resolveSource(specs[i], decompose)
+			if serr != nil {
+				resolveErrs[i] = serr
+				names[i] = specLabel(specs[i], i)
+				return nil
+			}
+			sources[i], names[i], ok[i] = src, src.Name, true
+			return nil
+		}
 		c, cerr := s.resolveCircuit(specs[i], decompose)
 		if cerr != nil {
 			resolveErrs[i] = cerr
 			names[i] = specLabel(specs[i], i)
 			return nil
 		}
-		resolved[i], names[i] = c, c.Name
+		resolved[i], names[i], ok[i] = c, c.Name, true
 		return nil
 	})
-	good := make([]*leqa.Circuit, 0, len(specs))
+	goodCircuits := make([]*leqa.Circuit, 0, len(specs))
+	goodSources := make([]leqa.Source, 0, len(specs))
 	orig := make([]int, 0, len(specs))
-	for i, c := range resolved {
-		if c != nil {
-			good = append(good, c)
-			orig = append(orig, i)
+	for i := range specs {
+		if !ok[i] {
+			continue
 		}
+		if hasRef {
+			goodSources = append(goodSources, sources[i])
+		} else {
+			goodCircuits = append(goodCircuits, resolved[i])
+		}
+		orig = append(orig, i)
 	}
 	enc := newRowEncoder(w, r)
 	st := &batchStream{s: s, em: s.endpoints[endpoint], enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig}
-	err = runner.SweepGridStream(ctx, good, paramSets, st.engineCell)
+	if hasRef {
+		err = runner.SweepGridSourcesStream(ctx, goodSources, paramSets, st.engineCell)
+	} else {
+		err = runner.SweepGridStream(ctx, goodCircuits, paramSets, st.engineCell)
+	}
 	if err == nil {
 		err = st.finish()
 	}

@@ -54,6 +54,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(bw, "# TYPE leqad_spooled_bytes_total counter\n")
 	fmt.Fprintf(bw, "leqad_spooled_bytes_total %d\n", s.spooledBytes.Load())
 
+	as := s.store.Stats()
+	for _, c := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"leqad_analysis_store_hits_total", "Analysis store memory-tier hits.", as.Hits},
+		{"leqad_analysis_store_misses_total", "Analysis store misses (full analyses run).", as.Misses},
+		{"leqad_analysis_store_disk_hits_total", "Analysis store hits served from persisted images.", as.DiskHits},
+		{"leqad_analysis_store_puts_total", "Analysis images written to the disk tier.", as.Puts},
+		{"leqad_analysis_store_evictions_total", "Analysis store memory-tier LRU evictions.", as.Evictions},
+		{"leqad_analysis_store_disk_evictions_total", "Analysis images evicted to respect the disk cap.", as.DiskEvictions},
+	} {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	fmt.Fprintf(bw, "# HELP leqad_analysis_store_entries Analysis store resident memory-tier entries.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_analysis_store_entries gauge\n")
+	fmt.Fprintf(bw, "leqad_analysis_store_entries %d\n", as.Entries)
+	fmt.Fprintf(bw, "# HELP leqad_analysis_store_disk_bytes Analysis store disk-tier occupancy in bytes.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_analysis_store_disk_bytes gauge\n")
+	fmt.Fprintf(bw, "leqad_analysis_store_disk_bytes %d\n", as.DiskBytes)
+
 	st := leqa.ZoneModelCacheStats()
 	for _, c := range []struct {
 		name, help string

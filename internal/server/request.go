@@ -120,7 +120,14 @@ func (s *Server) runnerFor(spec *client.OptionsSpec) (*leqa.Runner, error) {
 	if spec.DisableCongestion != nil {
 		opt.DisableCongestion = *spec.DisableCongestion
 	}
-	return leqa.NewRunner(s.cfg.Params, opt, s.cfg.Workers)
+	r, err := leqa.NewRunner(s.cfg.Params, opt, s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	// Analyses are estimator-option-independent, so transient runners share
+	// the server's content-addressed store.
+	r.SetAnalysisStore(s.store)
+	return r, nil
 }
 
 // wantDecompose reports whether non-FT uploads should be lowered (the
@@ -139,6 +146,10 @@ func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.
 	var c *leqa.Circuit
 	var err error
 	switch {
+	case spec.Ref != "":
+		// Refs resolve against the analysis store (resolveSource), never to
+		// a materialized circuit — the store holds graphs, not gate lists.
+		return nil, fmt.Errorf("by-reference circuit specs cannot be materialized")
 	case spec.QC != "" && spec.Generate != "":
 		return nil, fmt.Errorf("circuit spec has both qc and generate; pick one")
 	case spec.Generate != "":
@@ -180,6 +191,46 @@ func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.
 	return c, nil
 }
 
+// resolveSource turns one CircuitSpec into a lazy engine source: by-ref
+// specs resolve against the analysis store (the stored analysis feeds the
+// estimator directly), inline and generated specs materialize through
+// resolveCircuit. Errors are per-spec, like resolveCircuit's.
+func (s *Server) resolveSource(spec client.CircuitSpec, decompose bool) (leqa.Source, error) {
+	if spec.Ref == "" {
+		c, err := s.resolveCircuit(spec, decompose)
+		if err != nil {
+			return leqa.Source{}, err
+		}
+		return leqa.CircuitSource(c), nil
+	}
+	if spec.QC != "" || spec.Generate != "" {
+		return leqa.Source{}, badRequest("circuit spec has ref plus an inline form; pick one")
+	}
+	digest, err := leqa.ParseDigestRef(spec.Ref)
+	if err != nil {
+		return leqa.Source{}, badRequest("%v", err)
+	}
+	a, err := s.store.Get(digest)
+	if errors.Is(err, leqa.ErrAnalysisNotFound) {
+		return leqa.Source{}, &statusError{
+			code: http.StatusNotFound,
+			msg:  fmt.Sprintf("circuit %s is not in the analysis store; upload it with PUT /v1/circuits", spec.Ref),
+		}
+	}
+	if err != nil {
+		return leqa.Source{}, err
+	}
+	if a.Operations > s.cfg.MaxGates {
+		return leqa.Source{}, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+			a.Name, a.Operations, s.cfg.MaxGates)
+	}
+	name := spec.Name
+	if name == "" {
+		name = a.Name
+	}
+	return leqa.AnalysisSource(name, a), nil
+}
+
 // specLabel names a circuit spec in error rows when resolution failed
 // before any circuit existed.
 func specLabel(spec client.CircuitSpec, i int) string {
@@ -188,6 +239,8 @@ func specLabel(spec client.CircuitSpec, i int) string {
 		return spec.Name
 	case spec.Generate != "":
 		return spec.Generate
+	case spec.Ref != "":
+		return spec.Ref
 	default:
 		return fmt.Sprintf("circuit-%d", i)
 	}
@@ -255,9 +308,14 @@ func decomposeFromQuery(q url.Values) (bool, error) {
 }
 
 // classifyStreamErr maps streaming-ingestion failures to statuses: an
-// exceeded spool cap is 413 (the raw-upload successor of the body cap),
-// everything else keeps writeError's default classification.
+// exceeded spool cap is 413 (the raw-upload successor of the body cap); a
+// gzip body whose inflated content outgrew the cap is 422 — the request
+// itself was within bounds, its content was not; everything else keeps
+// writeError's default classification.
 func classifyStreamErr(err error) error {
+	if errors.Is(err, ingest.ErrInflateLimit) {
+		return &statusError{code: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
 	if errors.Is(err, ingest.ErrSpoolLimit) {
 		return &statusError{code: http.StatusRequestEntityTooLarge, msg: err.Error()}
 	}

@@ -79,6 +79,15 @@ type Config struct {
 	// MaxConcurrent caps simultaneous estimation requests; excess
 	// requests get 429 rather than queueing without bound.
 	MaxConcurrent int
+	// StoreDir, when non-empty, enables the analysis store's disk tier:
+	// analyses of uploaded circuits persist there as content-addressed
+	// .qca images and survive restarts. The memory tier is always on.
+	StoreDir string
+	// StoreMemEntries bounds the store's in-memory LRU; ≤ 0 selects the
+	// leqa default.
+	StoreMemEntries int
+	// StoreMaxDiskBytes caps the store's disk tier; ≤ 0 means unbounded.
+	StoreMaxDiskBytes int64
 	// Version is the build identifier reported by /healthz.
 	Version string
 	// Log receives request-level diagnostics; nil discards them.
@@ -95,6 +104,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	runner *leqa.Runner
+	store  *leqa.AnalysisStore
 	mux    *http.ServeMux
 	sem    chan struct{}
 	start  time.Time
@@ -121,7 +131,7 @@ type Server struct {
 }
 
 // metricsEndpoints fixes the exposition order of the per-endpoint series.
-var metricsEndpoints = []string{"estimate", "sweep", "grid", "benchmarks", "healthz"}
+var metricsEndpoints = []string{"estimate", "sweep", "grid", "circuits", "benchmarks", "healthz"}
 
 // metricsPhases fixes the exposition order of the per-phase series.
 var metricsPhases = []string{leqa.PhaseIngest, leqa.PhaseAnalyze, leqa.PhaseEstimate}
@@ -227,10 +237,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: base parameters: %w", err)
 	}
+	store, err := leqa.NewAnalysisStore(leqa.AnalysisStoreOptions{
+		MemEntries:   cfg.StoreMemEntries,
+		Dir:          cfg.StoreDir,
+		MaxDiskBytes: cfg.StoreMaxDiskBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: analysis store: %w", err)
+	}
+	runner.SetAnalysisStore(store)
 	baseCtx, abort := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		runner:    runner,
+		store:     store,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		start:     time.Now(),
 		baseCtx:   baseCtx,
@@ -257,6 +277,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/estimate", s.withSlot("estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/sweep", s.withSlot("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/grid", s.withSlot("grid", s.handleGrid))
+	mux.HandleFunc("PUT /v1/circuits", s.withSlot("circuits", s.handleCircuitPut))
+	mux.HandleFunc("GET /v1/circuits/{digest}", s.counted("circuits", s.handleCircuitGet))
+	mux.HandleFunc("HEAD /v1/circuits/{digest}", s.counted("circuits", s.handleCircuitGet))
 	mux.HandleFunc("GET /v1/benchmarks", s.counted("benchmarks", s.handleBenchmarks))
 	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -367,6 +390,7 @@ func (s *Server) logf(format string, args ...any) {
 // the service's request totals.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := leqa.ZoneModelCacheStats()
+	as := s.store.Stats()
 	writeJSON(w, http.StatusOK, client.Health{
 		Status:          "ok",
 		Version:         s.cfg.Version,
@@ -383,6 +407,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Evictions: st.Evictions,
 			Entries:   st.Entries,
 			Capacity:  st.Capacity,
+		},
+		AnalysisStore: client.StoreStats{
+			Hits:          as.Hits,
+			Misses:        as.Misses,
+			DiskHits:      as.DiskHits,
+			Puts:          as.Puts,
+			Evictions:     as.Evictions,
+			DiskEvictions: as.DiskEvictions,
+			Entries:       as.Entries,
+			Capacity:      as.Capacity,
+			DiskEntries:   as.DiskEntries,
+			DiskBytes:     as.DiskBytes,
 		},
 	})
 }

@@ -101,6 +101,44 @@ func (c *Client) Grid(ctx context.Context, req GridRequest, row func(leqa.Result
 	return c.stream(ctx, "/v1/grid", req, row)
 }
 
+// PutCircuit uploads a netlist body — .qc text or binary .qcb, either
+// gzipped; the server sniffs the container by magic bytes — to
+// PUT /v1/circuits and returns the stored circuit's content digest and
+// analysis metadata. Idempotent: re-uploading the same circuit (in any
+// container) lands on the same digest. The digest's "sha256:..." form is
+// usable as CircuitSpec.Ref in estimate/sweep/grid requests.
+func (c *Client) PutCircuit(ctx context.Context, name string, netlist io.Reader) (*CircuitInfo, error) {
+	u := c.base + "/v1/circuits"
+	if name != "" {
+		u += "?name=" + url.QueryEscape(name)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPut, u, netlist)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	var out CircuitInfo
+	if err := c.doJSON(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Circuit fetches a stored circuit's metadata by "sha256:..." reference
+// (GET /v1/circuits/{digest}). Unknown digests surface as an *APIError
+// with StatusCode 404.
+func (c *Client) Circuit(ctx context.Context, ref string) (*CircuitInfo, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/circuits/"+url.PathEscape(ref), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out CircuitInfo
+	if err := c.doJSON(hreq, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Benchmarks fetches the GET /v1/benchmarks generator catalog.
 func (c *Client) Benchmarks(ctx context.Context) (*BenchmarksResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/benchmarks", nil)

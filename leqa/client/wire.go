@@ -5,8 +5,9 @@
 // JSON object per NDJSON line (or SSE data frame).
 package client
 
-// CircuitSpec selects one circuit for estimation: either an inline .qc
-// netlist or a generator spec, never both.
+// CircuitSpec selects one circuit for estimation: an inline .qc netlist, a
+// generator spec, or a by-reference digest of a previously uploaded
+// circuit — exactly one of the three.
 type CircuitSpec struct {
 	// Name labels the circuit in result rows; defaults to the generator
 	// spec or the .qc-declared name.
@@ -17,6 +18,12 @@ type CircuitSpec struct {
 	// hwb<n>ps, ham<n>, <n>bitadder, mod<2^n>adder, shor-<n>[x<rounds>].
 	// Generated circuits are lowered to the FT gate set automatically.
 	Generate string `json:"generate,omitempty"`
+	// Ref addresses a circuit by content digest ("sha256:<64 hex>", as
+	// returned by PUT /v1/circuits). The server estimates straight from its
+	// stored analysis — no netlist bytes travel, no parsing or graph build
+	// runs. An unknown digest is a 404 (single estimate) or an error row
+	// (batch).
+	Ref string `json:"ref,omitempty"`
 }
 
 // ParamSpec overlays the server's base physical parameters (Table 1
@@ -89,6 +96,36 @@ type BenchmarksResponse struct {
 	Families []string `json:"families"`
 }
 
+// CircuitInfo is the PUT/GET /v1/circuits reply: the content digest a
+// stored circuit is addressed by, plus the analysis metadata.
+type CircuitInfo struct {
+	// Digest is the "sha256:<64 hex>" reference usable as CircuitSpec.Ref.
+	Digest string `json:"digest"`
+	// Name is the stored circuit's label.
+	Name string `json:"name"`
+	// Qubits and Operations are the register size and gate count.
+	Qubits     int `json:"qubits"`
+	Operations int `json:"operations"`
+	// FT reports whether every gate belongs to the fault-tolerant set;
+	// non-FT circuits can be stored but not estimated by reference.
+	FT bool `json:"ft"`
+}
+
+// StoreStats mirrors leqa.AnalysisStoreStats on the wire: the two-tier
+// content-addressed analysis store's cumulative counters.
+type StoreStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	DiskHits      uint64 `json:"diskHits"`
+	Puts          uint64 `json:"puts"`
+	Evictions     uint64 `json:"evictions"`
+	DiskEvictions uint64 `json:"diskEvictions"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	DiskEntries   int    `json:"diskEntries"`
+	DiskBytes     int64  `json:"diskBytes"`
+}
+
 // CacheStats mirrors leqa.ZoneCacheStats on the wire.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
@@ -134,6 +171,7 @@ type Health struct {
 	BatchesCanceled uint64       `json:"batchesCanceled"`
 	EstimateLatency LatencyStats `json:"estimateLatency"`
 	ZoneModelCache  CacheStats   `json:"zoneModelCache"`
+	AnalysisStore   StoreStats   `json:"analysisStore"`
 }
 
 // APIError is the JSON error envelope every non-2xx reply carries.

@@ -27,6 +27,34 @@ const (
 	EnvShardThreshold    = "LEQA_SHARD_THRESHOLD"
 )
 
+// Environment variables read by StoreOptionsFromEnv. They configure the
+// content-addressed analysis store cmd/leqa and cmd/leqad attach (flags of
+// the same meaning override):
+//
+//   - LEQA_STORE_DIR — disk-tier directory for persisted .qca analysis
+//     images; empty keeps the store memory-only.
+//   - LEQA_STORE_MEM — memory-tier LRU entry cap (0 selects the default).
+//   - LEQA_STORE_DISK_BYTES — disk-tier size cap in bytes (0 = unbounded).
+const (
+	EnvStoreDir       = "LEQA_STORE_DIR"
+	EnvStoreMem       = "LEQA_STORE_MEM"
+	EnvStoreDiskBytes = "LEQA_STORE_DISK_BYTES"
+)
+
+// StoreOptionsFromEnv overlays the LEQA_STORE_* variables onto opt,
+// leaving unset ones alone — the env half of the store configuration; the
+// commands apply their flags on top.
+func StoreOptionsFromEnv(opt AnalysisStoreOptions) (AnalysisStoreOptions, error) {
+	if v := os.Getenv(EnvStoreDir); v != "" {
+		opt.Dir = v
+	}
+	if err := applyEnvInt(EnvStoreMem, func(n int) { opt.MemEntries = n }); err != nil {
+		return opt, err
+	}
+	err := applyEnvInt64(EnvStoreDiskBytes, func(n int64) { opt.MaxDiskBytes = n })
+	return opt, err
+}
+
 // ParallelThreshold reports the critical-path sweep's parallel dispatch
 // threshold (nodes).
 func ParallelThreshold() int { return qodg.ParallelThreshold }
@@ -62,6 +90,19 @@ func applyEnvInt(name string, set func(int)) error {
 		return nil
 	}
 	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("%s=%q: not an integer", name, v)
+	}
+	set(n)
+	return nil
+}
+
+func applyEnvInt64(name string, set func(int64)) error {
+	v := os.Getenv(name)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
 		return fmt.Errorf("%s=%q: not an integer", name, v)
 	}

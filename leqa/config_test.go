@@ -50,4 +50,40 @@ func TestApplyEnvTuning(t *testing.T) {
 			t.Fatalf("err = %v, want mention of %s", err, EnvParallelThreshold)
 		}
 	})
+
+	t.Run("StoreUnset", func(t *testing.T) {
+		t.Setenv(EnvStoreDir, "")
+		t.Setenv(EnvStoreMem, "")
+		t.Setenv(EnvStoreDiskBytes, "")
+		in := AnalysisStoreOptions{MemEntries: 7, Dir: "/keep", MaxDiskBytes: 99}
+		got, err := StoreOptionsFromEnv(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != in {
+			t.Fatalf("unset env changed store options: %+v", got)
+		}
+	})
+
+	t.Run("StoreSet", func(t *testing.T) {
+		t.Setenv(EnvStoreDir, "/tmp/qca")
+		t.Setenv(EnvStoreMem, "128")
+		t.Setenv(EnvStoreDiskBytes, "1073741824")
+		got, err := StoreOptionsFromEnv(AnalysisStoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := AnalysisStoreOptions{MemEntries: 128, Dir: "/tmp/qca", MaxDiskBytes: 1 << 30}
+		if got != want {
+			t.Fatalf("StoreOptionsFromEnv = %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("StoreInvalid", func(t *testing.T) {
+		t.Setenv(EnvStoreDiskBytes, "huge")
+		_, err := StoreOptionsFromEnv(AnalysisStoreOptions{})
+		if err == nil || !strings.Contains(err.Error(), EnvStoreDiskBytes) {
+			t.Fatalf("err = %v, want mention of %s", err, EnvStoreDiskBytes)
+		}
+	})
 }

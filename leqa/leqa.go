@@ -29,6 +29,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/fabric"
 	"repro/internal/iig"
+	"repro/internal/ingest"
 	"repro/internal/qodg"
 	"repro/internal/qspr"
 	"repro/internal/stats"
@@ -98,8 +99,17 @@ func ParseGrid(s string) (Grid, error) {
 	return Grid{Width: w, Height: h}, nil
 }
 
-// Load parses a .qc netlist file.
-func Load(path string) (*Circuit, error) { return circuit.LoadQCFile(path) }
+// Load parses a netlist file into a materialized circuit. The container
+// is detected by magic bytes, not extension: textual .qc, binary .qcb,
+// and gzip-wrapped either way all load transparently.
+func Load(path string) (*Circuit, error) {
+	st, err := ingest.Open(path, ingest.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.Materialize()
+}
 
 // Parse reads a .qc netlist from a reader.
 func Parse(r io.Reader, name string) (*Circuit, error) { return circuit.ParseQC(r, name) }

@@ -19,6 +19,11 @@ type (
 	// the streaming estimation paths. ingest scanners (see FileSource /
 	// ReaderSource) and CircuitSource streams implement it.
 	GateStream = analysis.GateStream
+	// PrevalidatedStream is the optional GateStream capability advertising
+	// that yielded gates are already validated; wrappers that pass gates
+	// through unchanged should forward it so the analysis passes keep
+	// skipping the redundant per-gate re-validation.
+	PrevalidatedStream = analysis.PrevalidatedStream
 	// IngestOptions tunes the streaming .qc scanner: chunk size, line cap,
 	// and the on-disk spool (directory, byte cap) non-seekable sources use
 	// to support the analyzer's second pass.
@@ -73,6 +78,11 @@ type Source struct {
 	// called once per engine run; FileSource supports any number of runs,
 	// ReaderSource exactly one.
 	Open func() (GateStream, error)
+	// Analysis, when non-nil, short-circuits ingestion entirely: the source
+	// is estimated straight from this pre-built (typically store-resident)
+	// analysis and Open is never called. The engines treat the analysis as
+	// immutable and shared.
+	Analysis *Analysis
 }
 
 // FileSource streams a .qc file, naming the circuit after the file. The
@@ -84,12 +94,13 @@ func FileSource(path string, opt IngestOptions) Source {
 	}}
 }
 
-// ReaderSource streams a .qc netlist from an arbitrary reader (stdin, a
-// network body), spooling to disk for the analyzer's second pass when r
+// ReaderSource streams a netlist from an arbitrary reader (stdin, a
+// network body) — textual .qc or binary .qcb, either gzipped, sniffed by
+// magic bytes — spooling to disk for the analyzer's second pass when r
 // cannot seek. The reader is consumed; the source can be opened once.
 func ReaderSource(name string, r io.Reader, opt IngestOptions) Source {
 	return Source{Name: name, Open: func() (GateStream, error) {
-		return ingest.NewScanner(r, name, opt), nil
+		return ingest.NewAutoStream(r, name, opt)
 	}}
 }
 
@@ -101,6 +112,17 @@ func CircuitSource(c *Circuit) Source {
 	}}
 }
 
+// NewCircuitStream wraps an in-memory circuit as a rewindable GateStream —
+// the adapter for feeding materialized circuits to stream consumers such
+// as AnalysisStore.GetOrAnalyze or StreamDigest.
+func NewCircuitStream(c *Circuit) GateStream { return analysis.NewCircuitStream(c) }
+
+// AnalysisSource adapts a pre-built analysis — typically a content-store
+// hit resolved by digest — so by-reference requests can share a batch run
+// with streamed netlists while skipping ingestion and analysis entirely.
+func AnalysisSource(name string, a *Analysis) Source {
+	return Source{Name: name, Analysis: a}
+}
 
 // ctxStream threads context cancellation into a flowing gate stream: the
 // scan stops with ctx's error at the next gate boundary (checked every
@@ -147,6 +169,13 @@ func (s *ctxStream) Rewind() error {
 
 func (s *ctxStream) NumQubits() int { return s.src.NumQubits() }
 func (s *ctxStream) Name() string   { return s.src.Name() }
+
+// PrevalidatedGates forwards the wrapped stream's validation guarantee
+// (analysis.PrevalidatedStream): cancellation checks don't alter gates.
+func (s *ctxStream) PrevalidatedGates() bool {
+	p, ok := s.src.(analysis.PrevalidatedStream)
+	return ok && p.PrevalidatedGates()
+}
 
 // closeStream releases a stream that owns resources (ingest scanners hold
 // spool files); in-memory streams are no-ops.
@@ -203,8 +232,18 @@ func (r *Runner) EstimateStreamWith(ctx context.Context, src GateStream, p Param
 }
 
 // estimateSource opens one lazy source and estimates its stream — the
-// per-item work of the source sweeps.
+// per-item work of the source sweeps. With an attached analysis store (or
+// an Analysis-backed source) the stream feeds the store's digest+analyze
+// path and Algorithm 1 runs on the shared analysis; otherwise the gates
+// flow straight through the worker's arena.
 func (r *Runner) estimateSource(ctx context.Context, s Source) (*EstimateResult, error) {
+	if s.Analysis != nil || r.store != nil {
+		a, err := r.analyzeSource(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return r.estimateShared(ctx, r.est, a)
+	}
 	t := time.Now()
 	src, err := s.Open()
 	observePhase(PhaseIngest, t)
@@ -271,19 +310,7 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 	analyze := func(i int) (*analysis.Analysis, error) {
 		la := &analyses[i]
 		la.once.Do(func() {
-			if err := ctx.Err(); err != nil {
-				la.err = err
-				return
-			}
-			src, err := sources[i].Open()
-			if err != nil {
-				la.err = err
-				return
-			}
-			defer closeStream(src)
-			t := time.Now()
-			la.a, la.err = analysis.AnalyzeStream(&ctxStream{src: src, ctx: ctx})
-			observePhase(PhaseAnalyze, t)
+			la.a, la.err = r.analyzeSource(ctx, sources[i])
 		})
 		return la.a, la.err
 	}
@@ -302,9 +329,9 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 		}
 		ar := r.arena()
 		defer r.release(ar)
-		if m == 1 {
-			// Single column: the stream feeds exactly one cell, so the
-			// whole analyze+estimate runs in this worker's arena.
+		if m == 1 && sources[i].Analysis == nil && r.store == nil {
+			// Single column, no store: the stream feeds exactly one cell,
+			// so the whole analyze+estimate runs in this worker's arena.
 			src, err := sources[i].Open()
 			if err != nil {
 				cell.Err = err

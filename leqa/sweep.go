@@ -43,6 +43,7 @@ type Runner struct {
 	workers int
 	arenas  sync.Pool    // of *analysis.Arena
 	active  atomic.Int32 // arenas currently checked out ≈ cells in flight
+	store   *AnalysisStore
 }
 
 // arena checks a warm arena out of the pool (or makes a fresh one). The
