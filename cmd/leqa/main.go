@@ -47,6 +47,10 @@
 //	-timeout          abort the whole run after this duration (0 = none)
 //	-json/-csv        emit machine-readable results for baseline diffing
 //	-verbose          print model intermediates and cache statistics
+//	-trace            print the run's per-phase span breakdown (ingest,
+//	                  analyze with store outcomes and shard counts,
+//	                  estimate) to stderr — the CLI view of the tracing
+//	                  layer leqad threads through every request
 //	-cpuprofile FILE  write a pprof CPU profile of the run
 //	-memprofile FILE  write a pprof heap profile at exit
 package main
@@ -63,6 +67,7 @@ import (
 	"strings"
 
 	"repro/leqa"
+	"repro/leqa/trace"
 )
 
 func main() {
@@ -143,6 +148,7 @@ func run() error {
 		jsonOut      = flag.Bool("json", false, "emit results as JSON (for baseline diffing)")
 		csvOut       = flag.Bool("csv", false, "emit results as CSV (for baseline diffing)")
 		verbose      = flag.Bool("verbose", false, "print model intermediates and cache statistics")
+		traceRun     = flag.Bool("trace", false, "print the run's per-phase span breakdown to stderr")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -292,11 +298,23 @@ func run() error {
 		runner.SetAnalysisStore(st)
 		streaming = true
 	}
+	// -trace attaches a request-style trace to the run: the engine records
+	// ingest/analyze/estimate spans (with store outcomes and shard counts)
+	// exactly as leqad does per request, and the breakdown prints after the
+	// results.
+	var tr *trace.Trace
+	if *traceRun {
+		tr = trace.New(trace.Generate())
+		ctx = trace.NewContext(ctx, tr)
+	}
 	var cells []leqa.GridCell
 	if streaming {
 		cells, err = runner.SweepGridSources(ctx, sources, paramSets)
 	} else {
 		cells, err = runner.SweepGrid(ctx, circuits, paramSets)
+	}
+	if tr != nil {
+		defer fmt.Fprint(os.Stderr, tr.Breakdown())
 	}
 	if err != nil {
 		return err

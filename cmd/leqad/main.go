@@ -51,6 +51,19 @@
 //	-store-mem       analysis store memory-tier entry cap (env LEQA_STORE_MEM)
 //	-store-disk      analysis store disk byte cap, 0 = unbounded
 //	                 (env LEQA_STORE_DISK_BYTES)
+//	-log-format      structured access-log format: text (default) or json
+//	-log-level       minimum log level: debug, info, warn, error
+//	-slow-request    warn-log any request at or over this duration with its
+//	                 full span breakdown (0 disables)
+//	-trace-ring      GET /debug/requests retained-trace count
+//	-enable-debug    mount net/http/pprof under /debug/pprof/ on the main mux
+//	-debug-addr      serve pprof + /debug/requests on a separate private
+//	                 address instead
+//
+// Every response carries an X-Request-Id header (echoing the request's
+// X-Request-Id or W3C traceparent when present); access logs, Server-Timing
+// headers/trailers, error rows and GET /debug/requests all use the same ID,
+// so a slow or failed request is attributable end to end.
 //
 // Raw .qc uploads on /v1/estimate stream through internal/ingest: the
 // netlist is parsed gate by gate and spooled to disk for the analyzer's
@@ -65,6 +78,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -110,8 +124,30 @@ func run() error {
 		storeDir      = flag.String("store-dir", "", "analysis store disk directory; persisted .qca images survive restarts (default $LEQA_STORE_DIR or memory-only)")
 		storeMem      = flag.Int("store-mem", -1, "analysis store memory-tier entry cap (-1 = default or $LEQA_STORE_MEM)")
 		storeDisk     = flag.Int64("store-disk", -1, "analysis store disk-tier byte cap, 0 = unbounded (-1 = default or $LEQA_STORE_DISK_BYTES)")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowReq       = flag.Duration("slow-request", 0, "log requests at or over this duration at warn level with their span breakdown (0 disables)")
+		traceRing     = flag.Int("trace-ring", 0, "GET /debug/requests ring size (0 = default)")
+		enableDebug   = flag.Bool("enable-debug", false, "mount net/http/pprof under /debug/pprof/ on the main listener")
+		debugAddr     = flag.String("debug-addr", "", "serve pprof + /debug/requests on a separate private address (e.g. localhost:8348)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", *logLevel, err)
+	}
+	hopt := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopt)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopt)
+	default:
+		return fmt.Errorf("-log-format %q: want text or json", *logFormat)
+	}
+	slogger := slog.New(handler)
 
 	// Parallelism thresholds: environment first, explicit flags override.
 	// Applied before the Runner exists so no estimate ever races the write.
@@ -170,9 +206,28 @@ func run() error {
 		StoreMaxDiskBytes: storeOpt.MaxDiskBytes,
 		Version:           version,
 		Log:               logger,
+		Logger:            slogger,
+		SlowRequest:       *slowReq,
+		TraceRing:         *traceRing,
+		EnableDebug:       *enableDebug,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("debug surfaces (pprof, /debug/requests) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	httpSrv := &http.Server{

@@ -45,6 +45,17 @@ func planShards(nGates, budget int) int {
 	return k
 }
 
+// ShardPlan reports the shard count Analyze will use for a circuit of
+// nGates gates under ar's worker budget (1 means a serial build; ar may be
+// nil for the whole-machine budget) — exposed so observability layers can
+// annotate analyze spans without re-deriving the plan.
+func ShardPlan(nGates int, ar *Arena) int {
+	if k := planShards(nGates, shardBudget(ar)); k > 1 {
+		return k
+	}
+	return 1
+}
+
 // shardBudget resolves the worker budget of an analysis call: the arena's
 // MaxShards share when set, the whole machine otherwise.
 func shardBudget(ar *Arena) int {

@@ -26,6 +26,11 @@ func newRowEncoder(w http.ResponseWriter, r *http.Request) rowEncoder {
 	h := w.Header()
 	h.Set("Cache-Control", "no-store")
 	h.Set("X-Accel-Buffering", "no")
+	// Streamed responses send their span breakdown as an HTTP trailer —
+	// the header goes out before any pipeline phase has run. Declaring it
+	// here (before WriteHeader) lets the observability middleware populate
+	// the value once the batch finishes.
+	h.Set("Trailer", "Server-Timing")
 	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
 		h.Set("Content-Type", "text/event-stream")
 		w.WriteHeader(http.StatusOK)

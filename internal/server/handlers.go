@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/benchgen"
 	"repro/internal/ingest"
 	"repro/internal/pool"
 	"repro/leqa"
 	"repro/leqa/client"
+	"repro/leqa/trace"
 )
 
 // handleEstimate runs one circuit — JSON spec body or raw .qc upload — and
@@ -42,14 +44,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if req.Ref != "" {
 		// By-reference: estimate straight from the stored analysis — no
 		// netlist bytes, no parsing, no graph build.
-		src, serr := s.resolveSource(req.CircuitSpec, wantDecompose(req.Options))
+		src, serr := s.resolveSource(ctx, req.CircuitSpec, wantDecompose(req.Options))
 		if serr != nil {
 			writeError(w, serr)
 			return
 		}
 		cells, err = runner.SweepGridSources(ctx, []leqa.Source{src}, []leqa.Params{p})
 	} else {
-		c, cerr := s.resolveCircuit(req.CircuitSpec, wantDecompose(req.Options))
+		c, cerr := s.resolveCircuit(ctx, req.CircuitSpec, wantDecompose(req.Options))
 		if cerr != nil {
 			writeError(w, cerr)
 			return
@@ -67,7 +69,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.endpoints["estimate"].rows.Add(1)
+	t := time.Now()
 	writeJSON(w, http.StatusOK, cells[0].Record())
+	trace.FromContext(ctx).Observe(trace.SpanEmit, "", t, time.Since(t))
 }
 
 // handleEstimateQC estimates a raw netlist upload through the streaming
@@ -132,7 +136,9 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 	}
 	s.endpoints["estimate"].rows.Add(1)
 	cell := leqa.GridCell{Name: name, Params: p, Result: res}
+	t := time.Now()
 	writeJSON(w, http.StatusOK, cell.Record())
+	trace.FromContext(ctx).Observe(trace.SpanEmit, "", t, time.Since(t))
 }
 
 // tryDecomposeFallback handles a stream that turned out non-FT: netlists
@@ -305,7 +311,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint st
 			return nil
 		}
 		if hasRef {
-			src, serr := s.resolveSource(specs[i], decompose)
+			src, serr := s.resolveSource(ctx, specs[i], decompose)
 			if serr != nil {
 				resolveErrs[i] = serr
 				names[i] = specLabel(specs[i], i)
@@ -314,7 +320,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint st
 			sources[i], names[i], ok[i] = src, src.Name, true
 			return nil
 		}
-		c, cerr := s.resolveCircuit(specs[i], decompose)
+		c, cerr := s.resolveCircuit(ctx, specs[i], decompose)
 		if cerr != nil {
 			resolveErrs[i] = cerr
 			names[i] = specLabel(specs[i], i)
@@ -338,7 +344,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint st
 		orig = append(orig, i)
 	}
 	enc := newRowEncoder(w, r)
-	st := &batchStream{s: s, em: s.endpoints[endpoint], enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig}
+	st := &batchStream{s: s, em: s.endpoints[endpoint], enc: enc, paramSets: paramSets, resolveErrs: resolveErrs, names: names, orig: orig, tr: trace.FromContext(ctx)}
 	if hasRef {
 		err = runner.SweepGridSourcesStream(ctx, goodSources, paramSets, st.engineCell)
 	} else {
@@ -378,6 +384,7 @@ type batchStream struct {
 	orig        []int // engine circuit index → original spec index
 	next        int   // first original index whose rows are not yet emitted
 	rows        int
+	tr          *trace.Trace // request trace; nil-safe
 }
 
 // engineCell receives one computed cell and re-labels it with the original
@@ -422,11 +429,19 @@ func (b *batchStream) flushFailedBefore(oi int) error {
 	return nil
 }
 
-// emit writes and flushes one row, then fires the test hook.
+// emit writes and flushes one row, then fires the test hook. Error rows
+// carry the request's trace ID so a failed cell points straight at its
+// access-log line and /debug/requests record.
 func (b *batchStream) emit(cell leqa.GridCell) error {
-	if err := b.enc.row(cell.Record()); err != nil {
+	rec := cell.Record()
+	if rec.Error != "" {
+		rec.TraceID = b.tr.ID()
+	}
+	t := time.Now()
+	if err := b.enc.row(rec); err != nil {
 		return err
 	}
+	b.tr.Observe(trace.SpanEmit, "", t, time.Since(t))
 	b.rows++
 	b.s.rowsStreamed.Add(1)
 	b.em.rows.Add(1)

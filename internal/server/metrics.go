@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/leqa"
@@ -96,6 +97,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(bw, "# HELP leqad_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(bw, "# TYPE leqad_uptime_seconds gauge\n")
 	fmt.Fprintf(bw, "leqad_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(bw, "# HELP leqad_panics_total Handler panics recovered by the request middleware.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_panics_total counter\n")
+	fmt.Fprintf(bw, "leqad_panics_total %d\n", s.panics.Load())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(bw, "# HELP leqad_goroutines Live goroutines.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_goroutines gauge\n")
+	fmt.Fprintf(bw, "leqad_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(bw, "# HELP leqad_heap_inuse_bytes Heap bytes in in-use spans.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_heap_inuse_bytes gauge\n")
+	fmt.Fprintf(bw, "leqad_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(bw, "# HELP leqad_heap_sys_bytes Heap bytes obtained from the OS.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_heap_sys_bytes gauge\n")
+	fmt.Fprintf(bw, "leqad_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(bw, "# HELP leqad_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(bw, "leqad_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(bw, "# HELP leqad_gomaxprocs GOMAXPROCS at scrape time.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_gomaxprocs gauge\n")
+	fmt.Fprintf(bw, "leqad_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
 }
 
 // estimationEndpoints returns the endpoints that carry rows and latency.

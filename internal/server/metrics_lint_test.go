@@ -1,0 +1,331 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	family string            // series name as written (incl. _bucket/_sum/_count)
+	labels map[string]string // nil when unlabeled
+	value  float64
+	line   int
+}
+
+// promMeta records where a family's HELP/TYPE comments appeared.
+type promMeta struct {
+	helpLine, typeLine int
+	typ                string
+}
+
+// parseExposition parses the Prometheus text format the server hand-rolls,
+// failing the test on any line that is neither a comment nor a well-formed
+// sample.
+func parseExposition(t *testing.T, body string) (map[string]*promMeta, []promSample) {
+	t.Helper()
+	meta := map[string]*promMeta{}
+	var samples []promSample
+	sc := bufio.NewScanner(strings.NewReader(body))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Fatalf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			m := meta[name]
+			if m == nil {
+				m = &promMeta{}
+				meta[name] = m
+			}
+			if fields[1] == "HELP" {
+				if m.helpLine != 0 {
+					t.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				m.helpLine = lineNo
+			} else {
+				if m.typeLine != 0 {
+					t.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				m.typeLine = lineNo
+				m.typ = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // plain comment
+		}
+		s := parseSampleLine(t, lineNo, line)
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return meta, samples
+}
+
+func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	s := promSample{line: lineNo}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.family = line[:i]
+		end := strings.IndexByte(line, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+		}
+		s.labels = map[string]string{}
+		for _, pair := range splitLabels(line[i+1 : end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			uq, err := strconv.Unquote(v)
+			if !ok || err != nil {
+				t.Fatalf("line %d: bad label %q: %v", lineNo, pair, err)
+			}
+			s.labels[k] = uq
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		s.family, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", lineNo, rest, err)
+	}
+	s.value = v
+	return s
+}
+
+// splitLabels splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	startIdx := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[startIdx:i])
+				startIdx = i + 1
+			}
+		}
+	}
+	if startIdx < len(s) {
+		out = append(out, s[startIdx:])
+	}
+	return out
+}
+
+// baseFamily maps a sample's series name to its declared metric family:
+// histogram component suffixes resolve to the histogram name.
+func baseFamily(meta map[string]*promMeta, family string) string {
+	if meta[family] != nil {
+		return family
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(family, suffix)
+		if ok && meta[base] != nil && meta[base].typ == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// labelKey identifies one histogram series by its labels minus "le".
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, labels[k])
+	}
+	return b.String()
+}
+
+// TestMetricsExpositionLint scrapes a warmed-up server and checks the
+// invariants a real Prometheus scraper relies on: HELP and TYPE precede
+// every series of a family, histogram buckets are cumulative and monotone,
+// every histogram ends at le="+Inf", and _count equals the +Inf bucket.
+func TestMetricsExpositionLint(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{})
+	// Traffic first so the interesting series are non-zero.
+	if _, err := c.Estimate(context.Background(), client.EstimateRequest{
+		CircuitSpec: client.CircuitSpec{Generate: "ham7"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sweep(context.Background(), client.SweepRequest{
+		Circuits: []client.CircuitSpec{{Generate: "ham7"}, {Generate: "4bitadder"}},
+	}, func(leqa.ResultRecord) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	meta, samples := parseExposition(t, body)
+	if len(samples) == 0 {
+		t.Fatal("no samples in /metrics")
+	}
+
+	// Every sample belongs to a declared family whose HELP and TYPE both
+	// appeared earlier in the stream.
+	firstSample := map[string]int{}
+	for _, s := range samples {
+		fam := baseFamily(meta, s.family)
+		if fam == "" {
+			t.Errorf("line %d: series %s has no HELP/TYPE declaration", s.line, s.family)
+			continue
+		}
+		m := meta[fam]
+		if m.helpLine == 0 || m.typeLine == 0 {
+			t.Errorf("family %s missing HELP or TYPE", fam)
+			continue
+		}
+		if m.helpLine > s.line || m.typeLine > s.line {
+			t.Errorf("line %d: %s sampled before its HELP/TYPE (help=%d type=%d)",
+				s.line, s.family, m.helpLine, m.typeLine)
+		}
+		if firstSample[fam] == 0 {
+			firstSample[fam] = s.line
+		}
+		switch m.typ {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("family %s has unknown TYPE %q", fam, m.typ)
+		}
+		if m.typ == "counter" && s.value < 0 {
+			t.Errorf("line %d: counter %s is negative: %g", s.line, s.family, s.value)
+		}
+	}
+
+	// Histogram shape: per labelset, buckets in order must be monotone
+	// nondecreasing, end at +Inf, and agree with _count.
+	type histSeries struct {
+		bounds []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	hists := map[string]map[string]*histSeries{}
+	for _, s := range samples {
+		fam := baseFamily(meta, s.family)
+		if fam == "" || meta[fam].typ != "histogram" {
+			continue
+		}
+		byLabel := hists[fam]
+		if byLabel == nil {
+			byLabel = map[string]*histSeries{}
+			hists[fam] = byLabel
+		}
+		key := labelKey(s.labels)
+		h := byLabel[key]
+		if h == nil {
+			h = &histSeries{}
+			byLabel[key] = h
+		}
+		switch {
+		case strings.HasSuffix(s.family, "_bucket"):
+			le := s.labels["le"]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Errorf("line %d: bad le=%q", s.line, le)
+					continue
+				}
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, s.value)
+		case strings.HasSuffix(s.family, "_count"):
+			h.count, h.hasCnt = s.value, true
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histograms in /metrics")
+	}
+	for fam, byLabel := range hists {
+		for key, h := range byLabel {
+			if len(h.bounds) == 0 {
+				t.Errorf("%s{%s}: no buckets", fam, key)
+				continue
+			}
+			for i := 1; i < len(h.bounds); i++ {
+				if h.bounds[i] <= h.bounds[i-1] {
+					t.Errorf("%s{%s}: bucket bounds not increasing: %v", fam, key, h.bounds)
+				}
+				if h.counts[i] < h.counts[i-1] {
+					t.Errorf("%s{%s}: cumulative counts decrease: %v", fam, key, h.counts)
+				}
+			}
+			if !math.IsInf(h.bounds[len(h.bounds)-1], 1) {
+				t.Errorf("%s{%s}: last bucket is %v, want +Inf", fam, key, h.bounds[len(h.bounds)-1])
+			}
+			if !h.hasCnt {
+				t.Errorf("%s{%s}: missing _count", fam, key)
+			} else if h.counts[len(h.counts)-1] != h.count {
+				t.Errorf("%s{%s}: +Inf bucket %g != _count %g", fam, key, h.counts[len(h.counts)-1], h.count)
+			}
+		}
+	}
+
+	// The series this PR added are present.
+	for _, want := range []string{
+		"leqad_panics_total", "leqad_goroutines", "leqad_heap_inuse_bytes",
+		"leqad_heap_sys_bytes", "leqad_gc_pause_seconds_total", "leqad_gomaxprocs",
+	} {
+		if meta[want] == nil {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// And the estimate traffic registered.
+	found := false
+	for _, s := range samples {
+		if s.family == "leqad_request_duration_seconds_count" && s.labels["endpoint"] == "estimate" && s.value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("estimate latency histogram did not record the request")
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lockedBuffer keeps the slog capture race-safe under net/http goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newPanicServer builds a Server with two injected panic routes — one that
+// dies before writing anything, one that dies mid-stream — which is only
+// possible from inside the package (the route mux is private).
+func newPanicServer(t *testing.T) (*Server, *httptest.Server, *lockedBuffer) {
+	t.Helper()
+	logBuf := &lockedBuffer{}
+	s, err := New(Config{Logger: slog.New(slog.NewJSONHandler(logBuf, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mux.HandleFunc("GET /panic/early", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom before headers")
+	})
+	s.mux.HandleFunc("GET /panic/midstream", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial row\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic("boom mid-stream")
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, logBuf
+}
+
+// TestPanicRecoveryBeforeHeaders turns a pre-response panic into a clean
+// 500, counts it, logs the stack, and records it in the debug ring.
+func TestPanicRecoveryBeforeHeaders(t *testing.T) {
+	s, ts, logBuf := newPanicServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/panic/early")
+	if err != nil {
+		t.Fatalf("client error (connection should survive an early panic): %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("internal error")) {
+		t.Fatalf("body = %q, want the JSON error envelope", body)
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "panic in handler") || !strings.Contains(logged, "boom before headers") {
+		t.Fatalf("panic not logged:\n%s", logged)
+	}
+	snaps := s.ring.Snapshots()
+	if len(snaps) == 0 || snaps[0].Error != "panic (see server log)" {
+		t.Fatalf("ring snapshots = %+v, want a panic record first", snaps)
+	}
+
+	// The counter reaches /metrics.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "leqad_panics_total 1") {
+		t.Fatal("/metrics missing leqad_panics_total 1")
+	}
+}
+
+// TestPanicRecoveryMidStream keeps the ErrAbortHandler contract for panics
+// after the status went out: the response is truncated so the client sees a
+// transport error instead of a silently complete reply.
+func TestPanicRecoveryMidStream(t *testing.T) {
+	s, ts, _ := newPanicServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/panic/midstream")
+	if err == nil {
+		// The status and first bytes may arrive before the cut; the read
+		// must then fail.
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("mid-stream panic produced a cleanly terminated response")
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+}
+
+// TestAbortedStreamNotCountedAsPanic keeps the NDJSON truncation signal
+// (http.ErrAbortHandler) out of the panic counter: it is flow control, not
+// a crash.
+func TestAbortedStreamNotCountedAsPanic(t *testing.T) {
+	logBuf := &lockedBuffer{}
+	s, err := New(Config{Logger: slog.New(slog.NewJSONHandler(logBuf, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mux.HandleFunc("GET /abort", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("row\n"))
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	resp, err := ts.Client().Get(ts.URL + "/abort")
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := s.panics.Load(); got != 0 {
+		t.Fatalf("panics counter = %d, want 0 for ErrAbortHandler", got)
+	}
+	if strings.Contains(logBuf.String(), "panic in handler") {
+		t.Fatalf("ErrAbortHandler logged as a panic:\n%s", logBuf.String())
+	}
+	snaps := s.ring.Snapshots()
+	if len(snaps) == 0 || snaps[0].Error != "stream aborted" {
+		t.Fatalf("ring snapshots = %+v, want a stream-aborted record", snaps)
+	}
+}

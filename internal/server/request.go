@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/ingest"
 	"repro/leqa"
 	"repro/leqa/client"
+	"repro/leqa/trace"
 )
 
 // decodeJSON reads a JSON request body into v under the configured body
@@ -139,10 +141,15 @@ func wantDecompose(spec *client.OptionsSpec) bool {
 // resolveCircuit turns one CircuitSpec into an FT circuit, enforcing the
 // gate-count cap. Errors are per-spec: batch handlers turn them into error
 // rows rather than failing the request.
-func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.Circuit, error) {
+func (s *Server) resolveCircuit(ctx context.Context, spec client.CircuitSpec, decompose bool) (*leqa.Circuit, error) {
 	// Spec resolution — generation or parsing plus FT lowering — is the
-	// JSON endpoints' ingest phase.
-	defer func(t time.Time) { leqa.ObservePhase(leqa.PhaseIngest, time.Since(t)) }(time.Now())
+	// JSON endpoints' ingest phase: reported to the global histograms and,
+	// when the request carries a trace, as an ingest span on it.
+	defer func(t time.Time) {
+		d := time.Since(t)
+		leqa.ObservePhase(leqa.PhaseIngest, d)
+		trace.FromContext(ctx).Observe(trace.SpanIngest, "", t, d)
+	}(time.Now())
 	var c *leqa.Circuit
 	var err error
 	switch {
@@ -195,9 +202,9 @@ func (s *Server) resolveCircuit(spec client.CircuitSpec, decompose bool) (*leqa.
 // specs resolve against the analysis store (the stored analysis feeds the
 // estimator directly), inline and generated specs materialize through
 // resolveCircuit. Errors are per-spec, like resolveCircuit's.
-func (s *Server) resolveSource(spec client.CircuitSpec, decompose bool) (leqa.Source, error) {
+func (s *Server) resolveSource(ctx context.Context, spec client.CircuitSpec, decompose bool) (leqa.Source, error) {
 	if spec.Ref == "" {
-		c, err := s.resolveCircuit(spec, decompose)
+		c, err := s.resolveCircuit(ctx, spec, decompose)
 		if err != nil {
 			return leqa.Source{}, err
 		}
@@ -210,7 +217,7 @@ func (s *Server) resolveSource(spec client.CircuitSpec, decompose bool) (leqa.So
 	if err != nil {
 		return leqa.Source{}, badRequest("%v", err)
 	}
-	a, err := s.store.Get(digest)
+	a, outcome, err := s.store.GetOutcome(digest)
 	if errors.Is(err, leqa.ErrAnalysisNotFound) {
 		return leqa.Source{}, &statusError{
 			code: http.StatusNotFound,
@@ -228,7 +235,9 @@ func (s *Server) resolveSource(spec client.CircuitSpec, decompose bool) (leqa.So
 	if name == "" {
 		name = a.Name
 	}
-	return leqa.AnalysisSource(name, a), nil
+	src := leqa.AnalysisSource(name, a)
+	src.StoreOutcome = outcome.String()
+	return src, nil
 }
 
 // specLabel names a circuit spec in error rows when resolution failed

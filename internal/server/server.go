@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"reflect"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 
 	"repro/leqa"
 	"repro/leqa/client"
+	"repro/leqa/trace"
 )
 
 // Default limits; every Config field of the same name overrides one.
@@ -92,6 +94,21 @@ type Config struct {
 	Version string
 	// Log receives request-level diagnostics; nil discards them.
 	Log *log.Logger
+	// Logger receives structured access logs, slow-request breakdowns and
+	// panic reports. nil falls back to a text handler over Log's writer
+	// when Log is set, and discards otherwise.
+	Logger *slog.Logger
+	// SlowRequest, when positive, logs any request at or over this duration
+	// at warn level with its full span breakdown.
+	SlowRequest time.Duration
+	// TraceRing sizes the GET /debug/requests ring of recent request
+	// traces; ≤ 0 selects trace.DefaultRingSize.
+	TraceRing int
+	// EnableDebug mounts the net/http/pprof surfaces on the main mux under
+	// /debug/pprof/. Off by default: profiles expose internals, so they are
+	// opt-in (or bound privately via DebugHandler and cmd/leqad
+	// -debug-addr). GET /debug/requests is always on.
+	EnableDebug bool
 	// FlushHook, when set, runs after each streamed row reaches the
 	// client (with the 1-based row count). It is a test seam: a blocking
 	// hook holds the stream — and through backpressure the whole batch —
@@ -102,12 +119,16 @@ type Config struct {
 // Server is the leqad request layer. Create with New; it implements
 // http.Handler.
 type Server struct {
-	cfg    Config
-	runner *leqa.Runner
-	store  *leqa.AnalysisStore
-	mux    *http.ServeMux
-	sem    chan struct{}
-	start  time.Time
+	cfg     Config
+	runner  *leqa.Runner
+	store   *leqa.AnalysisStore
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the observability middleware
+	sem     chan struct{}
+	start   time.Time
+	logger  *slog.Logger
+	ring    *trace.Ring
+	panics  atomic.Uint64
 
 	// baseCtx is cancelled by Abort to stop every in-flight batch during
 	// forced shutdown.
@@ -273,6 +294,15 @@ func New(cfg Config) (*Server, error) {
 			l.observe(d)
 		}
 	})
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		if cfg.Log != nil {
+			s.logger = slog.New(slog.NewTextHandler(cfg.Log.Writer(), nil))
+		} else {
+			s.logger = slog.New(slog.DiscardHandler)
+		}
+	}
+	s.ring = trace.NewRing(cfg.TraceRing)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/estimate", s.withSlot("estimate", s.handleEstimate))
 	mux.HandleFunc("POST /v1/sweep", s.withSlot("sweep", s.handleSweep))
@@ -283,7 +313,12 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/benchmarks", s.counted("benchmarks", s.handleBenchmarks))
 	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	if cfg.EnableDebug {
+		registerPprof(mux)
+	}
 	s.mux = mux
+	s.handler = s.observe(mux)
 	return s, nil
 }
 
@@ -296,10 +331,11 @@ func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ServeHTTP dispatches to the service's routes.
+// ServeHTTP dispatches to the service's routes through the observability
+// middleware (request trace, access log, panic recovery, debug ring).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Abort cancels every in-flight batch. cmd/leqad calls it when graceful
@@ -359,6 +395,7 @@ func (s *Server) withSlot(endpoint string, h http.HandlerFunc) http.HandlerFunc 
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
+			observeQueue(r)
 			sc := &statusCapture{ResponseWriter: w}
 			t0 := time.Now()
 			// Deferred so aborted NDJSON streams — enc.fail panics with

@@ -139,20 +139,62 @@ func New(opt Options) (*Store, error) {
 // Dir reports the disk-tier directory ("" when memory-only).
 func (s *Store) Dir() string { return s.dir }
 
+// Outcome classifies how one GetOrAnalyze lookup was satisfied — the
+// store attribution request traces record on their analyze spans.
+type Outcome uint8
+
+const (
+	// OutcomeMiss: neither tier had the digest; a full analysis ran.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served by the memory tier (including lookups coalesced
+	// onto another caller's in-flight analysis by the single-flight gate).
+	OutcomeHit
+	// OutcomeDiskHit: decoded from a persisted .qca image.
+	OutcomeDiskHit
+)
+
+// String renders the outcome as the span-detail token ("hit", "miss",
+// "disk").
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeDiskHit:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // GetOrAnalyze returns the analysis of src's netlist and its content
 // digest (bare hex), analyzing at most once per digest across all
 // concurrent callers. The stream is consumed (one digest pass, plus the
 // analysis passes on a full miss).
 func (s *Store) GetOrAnalyze(src analysis.GateStream) (*analysis.Analysis, string, error) {
+	a, digest, _, err := s.GetOrAnalyzeOutcome(src)
+	return a, digest, err
+}
+
+// GetOrAnalyzeOutcome is GetOrAnalyze reporting how the lookup was
+// satisfied (memory hit, disk image, full analysis) — the hook request
+// tracing uses to attribute analyze time.
+func (s *Store) GetOrAnalyzeOutcome(src analysis.GateStream) (*analysis.Analysis, string, Outcome, error) {
 	digest, err := qcbin.Digest(src)
 	if err != nil {
-		return nil, "", err
+		return nil, "", OutcomeMiss, err
 	}
+	// If compute never runs, the digest was resident (or another caller's
+	// in-flight analysis was joined): a memory-tier hit either way. Only
+	// this goroutine writes outcome — compute runs under the entry's once,
+	// and entries created here are computed by their creator.
+	outcome := OutcomeHit
 	compute := func() (*analysis.Analysis, error) {
 		if a, ok := s.loadImage(digest); ok {
+			outcome = OutcomeDiskHit
 			s.count(&s.diskHits)
 			return a, nil
 		}
+		outcome = OutcomeMiss
 		s.count(&s.misses)
 		if err := src.Rewind(); err != nil {
 			return nil, err
@@ -171,23 +213,35 @@ func (s *Store) GetOrAnalyze(src analysis.GateStream) (*analysis.Analysis, strin
 		// retry and compute for real.
 		a, err = s.lookup(digest, compute)
 	}
-	return a, digest, err
+	return a, digest, outcome, err
 }
 
 // Get returns the stored analysis for a bare hex digest, consulting both
 // tiers; ErrNotFound when neither has it.
 func (s *Store) Get(digest string) (*analysis.Analysis, error) {
+	a, _, err := s.GetOutcome(digest)
+	return a, err
+}
+
+// GetOutcome is Get reporting which tier answered — OutcomeHit from
+// memory (including a coalesced single-flight wait), OutcomeDiskHit from
+// a persisted image, OutcomeMiss with ErrNotFound.
+func (s *Store) GetOutcome(digest string) (*analysis.Analysis, Outcome, error) {
 	if err := validDigest(digest); err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
-	return s.lookup(digest, func() (*analysis.Analysis, error) {
+	outcome := OutcomeHit
+	a, err := s.lookup(digest, func() (*analysis.Analysis, error) {
 		if a, ok := s.loadImage(digest); ok {
+			outcome = OutcomeDiskHit
 			s.count(&s.diskHits)
 			return a, nil
 		}
+		outcome = OutcomeMiss
 		s.count(&s.misses)
 		return nil, ErrNotFound
 	})
+	return a, outcome, err
 }
 
 // count bumps one cumulative counter under the store lock.

@@ -204,6 +204,9 @@ func (c *Client) stream(ctx context.Context, path string, req any, row func(leqa
 }
 
 // doJSON executes the request and decodes a single JSON reply into out.
+// Result records pick up the server's request ID (X-Request-Id) so a
+// surprising estimate can be traced back through the server's access log
+// and /debug/requests ring.
 func (c *Client) doJSON(hreq *http.Request, out any) error {
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
@@ -213,14 +216,21 @@ func (c *Client) doJSON(hreq *http.Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return decodeAPIError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return err
+	}
+	if rec, ok := out.(*leqa.ResultRecord); ok && rec.TraceID == "" {
+		rec.TraceID = resp.Header.Get("X-Request-Id")
+	}
+	return nil
 }
 
 // decodeAPIError turns a non-2xx reply into an *APIError, falling back to
-// the raw body when it is not the JSON error envelope.
+// the raw body when it is not the JSON error envelope. The server's request
+// ID rides along for log correlation.
 func decodeAPIError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
-	apiErr := &APIError{StatusCode: resp.StatusCode}
+	apiErr := &APIError{StatusCode: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
 	if err := json.Unmarshal(raw, apiErr); err != nil || apiErr.Message == "" {
 		apiErr.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 	}

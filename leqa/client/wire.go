@@ -178,6 +178,16 @@ type Health struct {
 type APIError struct {
 	StatusCode int    `json:"-"`
 	Message    string `json:"error"`
+	// RequestID is the server's correlation ID for the failed request
+	// (from the X-Request-Id response header) — quote it when reporting a
+	// failure so the operator can find the matching access-log line and
+	// /debug/requests trace.
+	RequestID string `json:"-"`
 }
 
-func (e *APIError) Error() string { return e.Message }
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return e.Message + " (request " + e.RequestID + ")"
+	}
+	return e.Message
+}

@@ -35,6 +35,10 @@ type ResultRecord struct {
 	CriticalCNOTs      int     `json:"criticalCNOTs"`
 	CriticalOneQubit   int     `json:"criticalOneQubit"`
 	Error              string  `json:"error,omitempty"`
+	// TraceID correlates a row with its originating request (leqad sets it
+	// on error rows so a failed cell points at its /debug/requests trace).
+	// JSON-only: the CSV schema is a committed-baseline format and omits it.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Record flattens the cell into the emitter schema.

@@ -1,8 +1,12 @@
 package leqa
 
 import (
+	"context"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/leqa/trace"
 )
 
 // Phase labels reported to the PhaseObserver. One estimation passes through
@@ -54,7 +58,39 @@ func ObservePhase(phase string, d time.Duration) {
 	}
 }
 
-// observePhase reports one finished phase that began at start.
-func observePhase(phase string, start time.Time) {
-	ObservePhase(phase, time.Since(start))
+// observePhase reports one finished phase that began at start — to the
+// process-global observer (feeding /metrics) and, when ctx carries a
+// request trace, as a span on that trace.
+func observePhase(ctx context.Context, phase string, start time.Time) {
+	observePhaseDetail(ctx, phase, start, nil)
+}
+
+// observePhaseDetail is observePhase with a lazily built span detail
+// ("store=hit shards=4"). detail runs only when a trace is attached, so the
+// untraced hot path never constructs detail strings; benchmarks hold the
+// traced path to that budget too because the closure never escapes.
+func observePhaseDetail(ctx context.Context, phase string, start time.Time, detail func() string) {
+	d := time.Since(start)
+	ObservePhase(phase, d)
+	if tr := trace.FromContext(ctx); tr != nil {
+		var ds string
+		if detail != nil {
+			ds = detail()
+		}
+		tr.Observe(phase, ds, start, d)
+	}
+}
+
+// itoa keeps span-detail builders terse (they already live behind the
+// trace-attached check).
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// analyzeDetail renders an analyze span's attributes, e.g.
+// "store=hit gates=16921 shards=4". Only built under an attached trace.
+func analyzeDetail(store string, gates, shards int) string {
+	s := "gates=" + strconv.Itoa(gates) + " shards=" + strconv.Itoa(shards)
+	if store != "" {
+		s = "store=" + store + " " + s
+	}
+	return s
 }

@@ -83,6 +83,10 @@ type Source struct {
 	// analysis and Open is never called. The engines treat the analysis as
 	// immutable and shared.
 	Analysis *Analysis
+	// StoreOutcome optionally labels how Analysis was obtained ("hit",
+	// "disk") for request-trace attribution; empty reads as "ref". Purely
+	// observational — it never changes estimation.
+	StoreOutcome string
 }
 
 // FileSource streams a .qc file, naming the circuit after the file. The
@@ -195,22 +199,27 @@ func (r *Runner) EstimateStream(ctx context.Context, src GateStream) (*EstimateR
 	}
 	ar := r.arena()
 	defer r.release(ar)
-	return estimateStreamPhased(r.est, &ctxStream{src: src, ctx: ctx}, ar)
+	return estimateStreamPhased(ctx, r.est, &ctxStream{src: src, ctx: ctx}, ar)
 }
 
 // estimateStreamPhased is EstimateStreamArena with the analyze/estimate
 // boundary reported to the phase observer; the split composition is bitwise
 // identical to the fused call.
-func estimateStreamPhased(est *core.Estimator, src GateStream, ar *analysis.Arena) (*EstimateResult, error) {
+func estimateStreamPhased(ctx context.Context, est *core.Estimator, src GateStream, ar *analysis.Arena) (*EstimateResult, error) {
 	t := time.Now()
 	a, err := est.AnalyzeStreamFT(src, ar)
-	observePhase(PhaseAnalyze, t)
+	observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+		if a == nil {
+			return "streamed"
+		}
+		return "streamed gates=" + itoa(a.Operations)
+	})
 	if err != nil {
 		return nil, err
 	}
 	t = time.Now()
 	res, err := est.EstimateAnalysisArena(a, ar)
-	observePhase(PhaseEstimate, t)
+	observePhase(ctx, PhaseEstimate, t)
 	return res, err
 }
 
@@ -228,7 +237,7 @@ func (r *Runner) EstimateStreamWith(ctx context.Context, src GateStream, p Param
 	}
 	ar := r.arena()
 	defer r.release(ar)
-	return estimateStreamPhased(est, &ctxStream{src: src, ctx: ctx}, ar)
+	return estimateStreamPhased(ctx, est, &ctxStream{src: src, ctx: ctx}, ar)
 }
 
 // estimateSource opens one lazy source and estimates its stream — the
@@ -246,7 +255,7 @@ func (r *Runner) estimateSource(ctx context.Context, s Source) (*EstimateResult,
 	}
 	t := time.Now()
 	src, err := s.Open()
-	observePhase(PhaseIngest, t)
+	observePhaseDetail(ctx, PhaseIngest, t, func() string { return "open=" + s.Name })
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +347,7 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 				return cell
 			}
 			defer closeStream(src)
-			cell.Result, cell.Err = estimateStreamPhased(ests[j], &ctxStream{src: src, ctx: ctx}, ar)
+			cell.Result, cell.Err = estimateStreamPhased(ctx, ests[j], &ctxStream{src: src, ctx: ctx}, ar)
 			return cell
 		}
 		a, aerr := analyze(i)
@@ -350,7 +359,7 @@ func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, p
 		default:
 			t := time.Now()
 			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
-			observePhase(PhaseEstimate, t)
+			observePhase(ctx, PhaseEstimate, t)
 		}
 		return cell
 	}, emit)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/qcbin"
 	"repro/internal/store"
+	"repro/leqa/trace"
 )
 
 // Content-addressed analysis store, re-exported from internal/store. An
@@ -81,6 +82,17 @@ func WriteQCB(w io.Writer, c *Circuit) error { return qcbin.EncodeCircuit(w, c) 
 // workers and outlive the call.
 func (r *Runner) analyzeSource(ctx context.Context, s Source) (*analysis.Analysis, error) {
 	if s.Analysis != nil {
+		// By-reference resolution: no ingest or graph build happened, but a
+		// zero-duration analyze span keeps the request's store attribution
+		// visible — which tier answered when the resolver said, "ref" when
+		// the analysis arrived pre-built with no provenance.
+		if tr := trace.FromContext(ctx); tr != nil {
+			outcome := s.StoreOutcome
+			if outcome == "" {
+				outcome = "ref"
+			}
+			tr.Observe(trace.SpanAnalyze, "store="+outcome+" gates="+itoa(s.Analysis.Operations), time.Now(), 0)
+		}
 		return s.Analysis, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -88,7 +100,7 @@ func (r *Runner) analyzeSource(ctx context.Context, s Source) (*analysis.Analysi
 	}
 	t := time.Now()
 	src, err := s.Open()
-	observePhase(PhaseIngest, t)
+	observePhaseDetail(ctx, PhaseIngest, t, func() string { return "open=" + s.Name })
 	if err != nil {
 		return nil, err
 	}
@@ -97,11 +109,23 @@ func (r *Runner) analyzeSource(ctx context.Context, s Source) (*analysis.Analysi
 	t = time.Now()
 	var a *analysis.Analysis
 	if r.store != nil {
-		a, _, err = r.store.GetOrAnalyze(cs)
+		var outcome store.Outcome
+		a, _, outcome, err = r.store.GetOrAnalyzeOutcome(cs)
+		observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+			if a == nil {
+				return "store=" + outcome.String()
+			}
+			return "store=" + outcome.String() + " gates=" + itoa(a.Operations)
+		})
 	} else {
 		a, err = analysis.AnalyzeStream(cs)
+		observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+			if a == nil {
+				return "streamed"
+			}
+			return "streamed gates=" + itoa(a.Operations)
+		})
 	}
-	observePhase(PhaseAnalyze, t)
 	return a, err
 }
 
@@ -115,6 +139,6 @@ func (r *Runner) estimateShared(ctx context.Context, est *core.Estimator, a *ana
 	defer r.release(ar)
 	t := time.Now()
 	res, err := est.EstimateAnalysisArena(a, ar)
-	observePhase(PhaseEstimate, t)
+	observePhase(ctx, PhaseEstimate, t)
 	return res, err
 }

@@ -56,7 +56,9 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 			}
 			t := time.Now()
 			la.a, la.err = analysis.Analyze(c)
-			observePhase(PhaseAnalyze, t)
+			observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+				return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), nil))
+			})
 		})
 		return la.a, la.err
 	}
@@ -73,7 +75,9 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 		}
 		t := time.Now()
 		a, err := ar.Analyze(c)
-		observePhase(PhaseAnalyze, t)
+		observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+			return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), ar))
+		})
 		return a, err
 	}
 
@@ -110,7 +114,7 @@ func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, param
 		default:
 			t := time.Now()
 			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
-			observePhase(PhaseEstimate, t)
+			observePhase(ctx, PhaseEstimate, t)
 		}
 		return cell
 	}, emit)
@@ -126,7 +130,7 @@ func (r *Runner) RunStream(ctx context.Context, circuits []*Circuit, emit func(S
 	return r.runStream(ctx, len(circuits), func(i int) SweepResult {
 		c := circuits[i]
 		sr := SweepResult{Index: i, Name: c.Name}
-		sr.Result, sr.Err = r.estimateOne(c)
+		sr.Result, sr.Err = r.estimateOne(ctx, c)
 		return sr
 	}, func(i int) string { return circuits[i].Name }, emit)
 }
@@ -136,7 +140,7 @@ func (r *Runner) RunStream(ctx context.Context, circuits []*Circuit, emit func(S
 // each finished benchmark streams out in input order.
 func (r *Runner) RunNamedStream(ctx context.Context, names []string, emit func(SweepResult) error) error {
 	return r.runStream(ctx, len(names), func(i int) SweepResult {
-		return r.generateAndEstimate(i, names[i])
+		return r.generateAndEstimate(ctx, i, names[i])
 	}, func(i int) string { return names[i] }, emit)
 }
 

@@ -104,7 +104,7 @@ func (r *Runner) Run(ctx context.Context, circuits []*Circuit) ([]SweepResult, e
 	return r.run(ctx, len(circuits), func(i int) SweepResult {
 		c := circuits[i]
 		sr := SweepResult{Index: i, Name: c.Name}
-		sr.Result, sr.Err = r.estimateOne(c)
+		sr.Result, sr.Err = r.estimateOne(ctx, c)
 		return sr
 	}, func(i int) string { return circuits[i].Name })
 }
@@ -114,23 +114,23 @@ func (r *Runner) Run(ctx context.Context, circuits []*Circuit) ([]SweepResult, e
 // estimates it, so even circuit synthesis is parallelized.
 func (r *Runner) RunNamed(ctx context.Context, names []string) ([]SweepResult, error) {
 	return r.run(ctx, len(names), func(i int) SweepResult {
-		return r.generateAndEstimate(i, names[i])
+		return r.generateAndEstimate(ctx, i, names[i])
 	}, func(i int) string { return names[i] })
 }
 
 // generateAndEstimate synthesizes one named benchmark, lowers it to the FT
 // gate set and estimates it — the per-item work RunNamed and
 // RunNamedStream share.
-func (r *Runner) generateAndEstimate(i int, name string) SweepResult {
+func (r *Runner) generateAndEstimate(ctx context.Context, i int, name string) SweepResult {
 	sr := SweepResult{Index: i, Name: name}
 	t := time.Now()
 	c, err := benchgen.GenerateFT(name)
-	observePhase(PhaseIngest, t)
+	observePhaseDetail(ctx, PhaseIngest, t, func() string { return "generate=" + name })
 	if err != nil {
 		sr.Err = fmt.Errorf("leqa: generating %q: %w", name, err)
 		return sr
 	}
-	sr.Result, sr.Err = r.estimateOne(c)
+	sr.Result, sr.Err = r.estimateOne(ctx, c)
 	return sr
 }
 
@@ -145,7 +145,7 @@ func ftError(c *Circuit) error {
 
 // estimateOne analyzes the circuit (one fused graph pass) and runs the
 // estimator on the result, with both phases working out of a pooled arena.
-func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
+func (r *Runner) estimateOne(ctx context.Context, c *Circuit) (*EstimateResult, error) {
 	if err := ftError(c); err != nil {
 		return nil, err
 	}
@@ -153,13 +153,15 @@ func (r *Runner) estimateOne(c *Circuit) (*EstimateResult, error) {
 	defer r.release(ar)
 	t := time.Now()
 	a, err := ar.Analyze(c)
-	observePhase(PhaseAnalyze, t)
+	observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+		return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), ar))
+	})
 	if err != nil {
 		return nil, err
 	}
 	t = time.Now()
 	res, err := r.est.EstimateAnalysisArena(a, ar)
-	observePhase(PhaseEstimate, t)
+	observePhase(ctx, PhaseEstimate, t)
 	return res, err
 }
 

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Snapshot is one finished request's trace record — the JSON element
+// GET /debug/requests serves. The HTTP envelope fields are filled by the
+// server; the span data comes from Capture.
+type Snapshot struct {
+	// ID is the request's correlation ID (X-Request-Id).
+	ID string `json:"id"`
+	// Method, Path and Status describe the HTTP exchange.
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Status int    `json:"status,omitempty"`
+	// Start and DurMs time the whole request.
+	Start time.Time `json:"start"`
+	DurMs float64   `json:"durMs"`
+	// Rows counts streamed result rows (0 for non-batch endpoints).
+	Rows int `json:"rows,omitempty"`
+	// Error carries the terminal failure, if any.
+	Error string `json:"error,omitempty"`
+	// Spans are the retained individual span records; DroppedSpans counts
+	// the overflow past MaxSpans (still present in Totals).
+	Spans        []Span `json:"spans,omitempty"`
+	DroppedSpans int    `json:"droppedSpans,omitempty"`
+	// Totals aggregates spans per phase.
+	Totals []PhaseTotal `json:"totals,omitempty"`
+}
+
+// Capture freezes the trace into a Snapshot, timing the request as
+// start → now. Envelope fields (Method, Path, Status, Rows, Error) are the
+// caller's to fill.
+func (t *Trace) Capture() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		ID:           t.ID(),
+		Start:        t.start,
+		DurMs:        durMs(time.Since(t.start)),
+		Spans:        t.Spans(),
+		DroppedSpans: t.Dropped(),
+		Totals:       t.Totals(),
+	}
+}
+
+// Ring is a fixed-capacity buffer of the most recent request snapshots —
+// the x/net/trace-style debug surface behind GET /debug/requests. Safe
+// for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Snapshot
+	next int
+	full bool
+}
+
+// DefaultRingSize is the snapshot capacity servers use when unconfigured.
+const DefaultRingSize = 128
+
+// NewRing builds a ring retaining the last n snapshots (n ≤ 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Snapshot, n)}
+}
+
+// Add records one finished request, evicting the oldest when full.
+func (r *Ring) Add(s Snapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshots returns the retained records, newest first.
+func (r *Ring) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Snapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
