@@ -275,6 +275,50 @@ func BenchmarkLongestPath(b *testing.B) {
 	}
 }
 
+// BenchmarkLongestPathMulti isolates the multi-weight kernel against its
+// per-column serial baseline: K columns relaxed in one adjacency traversal
+// (SoA dist/from slabs) versus K separate LongestPathSerial sweeps that each
+// stream the graph again. The win is memory-bound — the adjacency and level
+// index are read once instead of K times — so it holds on a single core.
+func BenchmarkLongestPathMulti(b *testing.B) {
+	c := ftCircuit(b, "gf2^128mult")
+	g, err := qodg.Build(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 6} {
+		ws := make([]qodg.Weights, k)
+		for col := range ws {
+			scale := 1 + float64(col)*0.25
+			ws[col] = g.NewWeights(func(gt circuit.Gate) float64 {
+				if gt.Type == circuit.CNOT {
+					return 1000.5 * scale
+				}
+				return 100.25 * scale
+			})
+		}
+		b.Run(fmt.Sprintf("Multi/K%d", k), func(b *testing.B) {
+			s := new(qodg.PathScratch)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.LongestPathMulti(ws, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PerColumn/K%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					if _, err := g.LongestPathSerial(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep runs the estimator over the quick suite sequentially and
 // through the leqa.Runner worker pool — the fleet-of-scenarios path.
 func BenchmarkSweep(b *testing.B) {
@@ -637,6 +681,114 @@ func BenchmarkSweepGrid(b *testing.B) {
 					}
 				}
 			}
+		}
+	})
+}
+
+// BenchmarkSweepGridBatched times the batched estimate phase of one grid
+// row — 1 circuit × 6 parameter columns, the §4.2 design-space shape — with
+// the analysis and the zone-model memo warmed outside the loop so the
+// measurement isolates what PR 9 fuses: per-column EstimateAnalysisArena
+// (the BENCH_8 baseline, K weight builds + K critical-path sweeps) against
+// one EstimateAnalysisBatch call (one weight scan + one multi-weight
+// traversal). MemoCold/MemoWarm time a whole by-ref grid cell without and
+// with a result-memo hit; the warm cell skips analyze and estimate
+// entirely.
+func BenchmarkSweepGridBatched(b *testing.B) {
+	c := ftCircuit(b, "gf2^128mult")
+	a, err := analysis.Analyze(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	muts := []func(*fabric.Params){
+		func(p *fabric.Params) {},
+		func(p *fabric.Params) { p.Grid = fabric.Grid{Width: 90, Height: 90} },
+		func(p *fabric.Params) { p.ChannelCapacity = 2 },
+		func(p *fabric.Params) { p.QubitSpeed = 0.002 },
+		func(p *fabric.Params) { p.TMove = 150 },
+		func(p *fabric.Params) { p.DCNOT = 6000 },
+	}
+	paramSets := make([]fabric.Params, len(muts))
+	ests := make([]*core.Estimator, len(muts))
+	for j, mut := range muts {
+		p := fabric.Default()
+		mut(&p)
+		paramSets[j] = p
+		if ests[j], err = core.New(p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ests[j].EstimateAnalysisArena(a, nil); err != nil {
+			b.Fatal(err) // warm the zone-model memo for every column
+		}
+	}
+
+	b.Run("Batched", func(b *testing.B) {
+		ar := analysis.NewArena()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, errs := core.EstimateAnalysisBatch(ests, a, ar)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("PerColumn", func(b *testing.B) {
+		ar := analysis.NewArena()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, est := range ests {
+				if _, err := est.EstimateAnalysisArena(a, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	digest, err := leqa.CircuitDigest(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := leqa.AnalysisSource(c.Name, a)
+	src.Digest = digest
+	runGrid := func(b *testing.B, r *leqa.Runner) {
+		cells, err := r.SweepGridSources(context.Background(), []leqa.Source{src}, paramSets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cell := range cells {
+			if cell.Err != nil {
+				b.Fatal(cell.Err)
+			}
+		}
+	}
+	b.Run("MemoCold", func(b *testing.B) {
+		r, err := leqa.NewRunner(fabric.Default(), core.Options{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		memo := leqa.NewResultMemo(0)
+		r.SetResultMemo(memo)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			memo.Purge() // every iteration recomputes all six columns
+			b.StartTimer()
+			runGrid(b, r)
+		}
+	})
+	b.Run("MemoWarm", func(b *testing.B) {
+		r, err := leqa.NewRunner(fabric.Default(), core.Options{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.SetResultMemo(leqa.NewResultMemo(0))
+		runGrid(b, r) // fill the memo outside the timed loop
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runGrid(b, r)
 		}
 	})
 }

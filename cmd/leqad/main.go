@@ -51,6 +51,10 @@
 //	-store-mem       analysis store memory-tier entry cap (env LEQA_STORE_MEM)
 //	-store-disk      analysis store disk byte cap, 0 = unbounded
 //	                 (env LEQA_STORE_DISK_BYTES)
+//	-result-memo     (digest, params) result-memo entry cap: warm identical
+//	                 estimate/sweep/grid cells skip analyze and estimate
+//	                 entirely; 0 = default or $LEQA_RESULT_MEMO_ENTRIES,
+//	                 negative disables
 //	-log-format      structured access-log format: text (default) or json
 //	-log-level       minimum log level: debug, info, warn, error
 //	-slow-request    warn-log any request at or over this duration with its
@@ -124,6 +128,7 @@ func run() error {
 		storeDir      = flag.String("store-dir", "", "analysis store disk directory; persisted .qca images survive restarts (default $LEQA_STORE_DIR or memory-only)")
 		storeMem      = flag.Int("store-mem", -1, "analysis store memory-tier entry cap (-1 = default or $LEQA_STORE_MEM)")
 		storeDisk     = flag.Int64("store-disk", -1, "analysis store disk-tier byte cap, 0 = unbounded (-1 = default or $LEQA_STORE_DISK_BYTES)")
+		resultMemo    = flag.Int("result-memo", 0, "result-memo entry cap: 0 = default or $LEQA_RESULT_MEMO_ENTRIES, negative disables the memo")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		slowReq       = flag.Duration("slow-request", 0, "log requests at or over this duration at warn level with their span breakdown (0 disables)")
@@ -177,6 +182,15 @@ func run() error {
 		storeOpt.MaxDiskBytes = *storeDisk
 	}
 
+	// Result memo: environment first, explicit flag overrides.
+	memoEntries, err := leqa.ResultMemoEntriesFromEnv()
+	if err != nil {
+		return err
+	}
+	if *resultMemo != 0 {
+		memoEntries = *resultMemo
+	}
+
 	params := leqa.DefaultParams()
 	params.Grid = leqa.Grid{Width: *width, Height: *height}
 	if *gridSpec != "" {
@@ -204,6 +218,7 @@ func run() error {
 		StoreDir:          storeOpt.Dir,
 		StoreMemEntries:   storeOpt.MemEntries,
 		StoreMaxDiskBytes: storeOpt.MaxDiskBytes,
+		ResultMemoEntries: memoEntries,
 		Version:           version,
 		Log:               logger,
 		Logger:            slogger,

@@ -50,6 +50,7 @@ type Arena struct {
 	cuts   []int
 
 	weights qodg.Weights
+	multiW  []float64
 	path    qodg.PathScratch
 }
 
@@ -74,6 +75,16 @@ func (ar *Arena) WeightsFor(g *qodg.Graph, weightOf func(circuit.Gate) float64) 
 
 // Path returns the arena's longest-path scratch for qodg.LongestPathInto.
 func (ar *Arena) Path() *qodg.PathScratch { return &ar.path }
+
+// MultiWeightSlab returns a reusable interleaved weight slab for a k-column
+// sweep over g — column c of node v at [v*k+c], the layout
+// qodg.LongestPathMultiStrided consumes. Contents unspecified: the batched
+// estimator overwrites every row in its fused node scan. The slab grows to
+// the widest (nodes × columns) batch seen and is recycled across calls.
+func (ar *Arena) MultiWeightSlab(g *qodg.Graph, k int) []float64 {
+	ar.multiW = csr.Grow(ar.multiW, g.NumNodes()*k)
+	return ar.multiW
+}
 
 // growClear resizes buf to n and zeroes it — degree arrays must start the
 // counting pass at zero.

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchgen"
+	"repro/internal/circuit"
+	"repro/internal/fabric"
+)
+
+// batchParamSets returns six distinct fabric configurations — the §4.2
+// design-space-exploration shape — plus helpers below build their
+// estimators.
+func batchParamSets(t *testing.T) []fabric.Params {
+	t.Helper()
+	var sets []fabric.Params
+	for _, mut := range []func(*fabric.Params){
+		func(p *fabric.Params) {},
+		func(p *fabric.Params) { p.Grid = fabric.Grid{Width: 90, Height: 90} },
+		func(p *fabric.Params) { p.ChannelCapacity = 2 },
+		func(p *fabric.Params) { p.QubitSpeed = 0.002 },
+		func(p *fabric.Params) { p.TMove = 150 },
+		func(p *fabric.Params) { p.DCNOT = 6000 },
+	} {
+		p := fabric.Default()
+		mut(&p)
+		sets = append(sets, p)
+	}
+	return sets
+}
+
+func batchEstimators(t *testing.T, sets []fabric.Params, opt Options) []*Estimator {
+	t.Helper()
+	ests := make([]*Estimator, len(sets))
+	for i, p := range sets {
+		e, err := New(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = e
+	}
+	return ests
+}
+
+// assertResultsBitwiseEqual compares two Results field by field with no
+// float tolerance — the batched path must reproduce the serial one exactly.
+func assertResultsBitwiseEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if math.Float64bits(got.EstimatedLatency) != math.Float64bits(want.EstimatedLatency) {
+		t.Fatalf("%s: EstimatedLatency %v, want %v", label, got.EstimatedLatency, want.EstimatedLatency)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: batched Result diverges from serial:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestEstimateAnalysisBatchMatchesPerColumn is the batch contract: for every
+// paper benchmark (the small subset under -short) and six parameter columns,
+// every Result of one EstimateAnalysisBatch call must be bitwise identical
+// to its per-column EstimateAnalysisArena twin — arena and fresh-allocation
+// variants both.
+func TestEstimateAnalysisBatchMatchesPerColumn(t *testing.T) {
+	sets := batchParamSets(t)
+	ests := batchEstimators(t, sets, Options{})
+	names := []string{"ham7", "4bitadder", "mod16adder"}
+	if !testing.Short() {
+		names = append(names, "gf2^16mult", "hwb100ps")
+	}
+	ar := analysis.NewArena()
+	for _, name := range names {
+		c, err := benchgen.GenerateFT(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := analysis.Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]*Result, len(ests))
+		for j, e := range ests {
+			want[j], err = e.EstimateAnalysisArena(a, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		results, errs := EstimateAnalysisBatch(ests, a, ar)
+		for j := range ests {
+			if errs[j] != nil {
+				t.Fatalf("%s col %d: %v", name, j, errs[j])
+			}
+			assertResultsBitwiseEqual(t, name, results[j], want[j])
+		}
+		fresh, errs := EstimateAnalysisBatch(ests, a, nil)
+		for j := range ests {
+			if errs[j] != nil {
+				t.Fatalf("%s col %d (fresh): %v", name, j, errs[j])
+			}
+			assertResultsBitwiseEqual(t, name+"/fresh", fresh[j], want[j])
+		}
+	}
+}
+
+// TestEstimateAnalysisBatchPerColumnErrors pins the error isolation: a
+// column whose params lack a gate delay fails with exactly the error the
+// serial path reports, while its neighbor columns estimate normally.
+func TestEstimateAnalysisBatchPerColumnErrors(t *testing.T) {
+	c, err := benchgen.GenerateFT("ham7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analysis.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fabric.Default()
+	broken := fabric.Default()
+	delete(broken.GateDelay, circuit.H) // ham7 uses H; weight build must fail
+	ests := batchEstimators(t, []fabric.Params{good, broken, good}, Options{})
+
+	results, errs := EstimateAnalysisBatch(ests, a, analysis.NewArena())
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good columns failed: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("broken column succeeded")
+	}
+	if results[1] != nil {
+		t.Fatal("broken column returned a Result")
+	}
+	_, wantErr := ests[1].EstimateAnalysisArena(a, nil)
+	if wantErr == nil || errs[1].Error() != wantErr.Error() {
+		t.Fatalf("batch error %q, serial error %q", errs[1], wantErr)
+	}
+	want, err := ests[0].EstimateAnalysisArena(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsBitwiseEqual(t, "good-around-broken", results[0], want)
+	assertResultsBitwiseEqual(t, "good-around-broken", results[2], want)
+}
+
+// TestEstimateAnalysisBatchNonFT: a non-FT analysis fails every column with
+// the single-column path's NonFTError.
+func TestEstimateAnalysisBatchNonFT(t *testing.T) {
+	c, err := benchgen.GenerateFT("ham7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := analysis.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := *real
+	na.FT = false // same precondition EstimateAnalysisArena guards on
+	a := &na
+	ests := batchEstimators(t, []fabric.Params{fabric.Default(), fabric.Default()}, Options{})
+	results, errs := EstimateAnalysisBatch(ests, a, nil)
+	for j := range ests {
+		var nf *NonFTError
+		if !errors.As(errs[j], &nf) {
+			t.Fatalf("col %d: %v, want NonFTError", j, errs[j])
+		}
+		if results[j] != nil {
+			t.Fatalf("col %d returned a Result", j)
+		}
+	}
+}
+
+// TestEstimateAnalysisBatchEmpty: zero columns is a no-op.
+func TestEstimateAnalysisBatchEmpty(t *testing.T) {
+	c, err := benchgen.GenerateFT("ham7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analysis.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := EstimateAnalysisBatch(nil, a, nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Fatalf("got %d results, %d errs", len(results), len(errs))
+	}
+}

@@ -280,31 +280,11 @@ func (e *Estimator) EstimateGraphs(c *circuit.Circuit, g *qodg.Graph, ig *iig.Gr
 // the weight vector and longest-path scratch; the math is identical either
 // way, so arena and fresh runs produce bitwise-equal Results.
 func (e *Estimator) estimate(qubits, operations int, g *qodg.Graph, ig *iig.Graph, ar *analysis.Arena) (*Result, error) {
+	res, err := e.scalarPhase(qubits, operations, ig)
+	if err != nil {
+		return nil, err
+	}
 	p := e.Params
-	res := &Result{
-		LOneQubitAvg: p.OneQubitRouting(),
-		Qubits:       qubits,
-		Operations:   operations,
-	}
-
-	// Lines 2–3: B_i = M_i + 1 (Eq. 6), B = weighted average (Eq. 7).
-	res.AvgZoneArea = ig.AverageZoneArea()
-
-	// Lines 4–8: E[l_ham,i] (Eq. 15), d_uncong,i (Eq. 16), d_uncong (Eq. 12).
-	res.DUncong = ig.WeightedAverage(func(i int) float64 {
-		m := ig.Degree(i)
-		if m == 0 {
-			return 0
-		}
-		lham := tsp.ExpectedHamiltonianPath(m, ig.ZoneArea(i))
-		return lham / (p.QubitSpeed * float64(m))
-	})
-
-	if ig.TotalWeight() > 0 && res.DUncong > 0 {
-		if err := e.routingLatency(res, ig); err != nil {
-			return nil, err
-		}
-	}
 
 	// Lines 19–20: re-weight the QODG with per-op routing latencies and
 	// take the critical path (Eq. 1).
@@ -334,6 +314,49 @@ func (e *Estimator) estimate(qubits, operations int, g *qodg.Graph, ig *iig.Grap
 	if err != nil {
 		return nil, err
 	}
+	finishPath(res, cp)
+	return res, nil
+}
+
+// scalarPhase runs lines 2–18 of Algorithm 1 — everything before the QODG
+// re-weighting: the zone coverage average (Eq. 6–7), the congestion-free
+// routing latency (Eq. 12, 15–16), and the memoized zone-model terms
+// (Eq. 2–5, 8–11). The batched path runs it once per parameter column; the
+// IIG terms that depend only on the circuit repeat the identical float
+// computation per column, so single- and multi-column Results stay bitwise
+// equal.
+func (e *Estimator) scalarPhase(qubits, operations int, ig *iig.Graph) (*Result, error) {
+	p := e.Params
+	res := &Result{
+		LOneQubitAvg: p.OneQubitRouting(),
+		Qubits:       qubits,
+		Operations:   operations,
+	}
+
+	// Lines 2–3: B_i = M_i + 1 (Eq. 6), B = weighted average (Eq. 7).
+	res.AvgZoneArea = ig.AverageZoneArea()
+
+	// Lines 4–8: E[l_ham,i] (Eq. 15), d_uncong,i (Eq. 16), d_uncong (Eq. 12).
+	res.DUncong = ig.WeightedAverage(func(i int) float64 {
+		m := ig.Degree(i)
+		if m == 0 {
+			return 0
+		}
+		lham := tsp.ExpectedHamiltonianPath(m, ig.ZoneArea(i))
+		return lham / (p.QubitSpeed * float64(m))
+	})
+
+	if ig.TotalWeight() > 0 && res.DUncong > 0 {
+		if err := e.routingLatency(res, ig); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// finishPath folds a recovered critical path into the Result — lines 19–20's
+// outputs: D (Eq. 1) plus the per-type critical counts.
+func finishPath(res *Result, cp qodg.CriticalPath) {
 	res.CriticalPath = cp
 	res.EstimatedLatency = cp.Length
 	for t, n := range cp.CountByType {
@@ -343,7 +366,6 @@ func (e *Estimator) estimate(qubits, operations int, g *qodg.Graph, ig *iig.Grap
 			res.CriticalOneQubit += n
 		}
 	}
-	return res, nil
 }
 
 // routingLatency fills ZoneSide, ESq, Dq and LCNOTAvg (lines 9–18). The

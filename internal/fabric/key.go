@@ -1,0 +1,43 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+
+	"repro/internal/circuit"
+)
+
+// ParamsKey is a canonical encoding of a parameter set: two Params produce
+// the same key if and only if they are semantically equal (same geometry,
+// capacity, speeds, and gate-delay table — map iteration order and float
+// formatting never leak in). It is an exact encoding, not a hash, so key
+// equality is collision-free and safe to dedupe or memoize estimation
+// results by. The string form is comparable and usable as a map key.
+type ParamsKey string
+
+// Key computes the parameter set's canonical key. Floats are encoded by
+// their IEEE-754 bit patterns, so any two values an estimate could tell
+// apart produce different keys; gate-delay entries are sorted by gate type.
+func (p Params) Key() ParamsKey {
+	buf := make([]byte, 0, 7*8+len(p.GateDelay)*16)
+	u64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(p.Grid.Width))
+	u64(uint64(p.Grid.Height))
+	u64(uint64(p.ChannelCapacity))
+	f64(p.DCNOT)
+	f64(p.QubitSpeed)
+	f64(p.TMove)
+	u64(uint64(len(p.GateDelay)))
+	types := make([]circuit.GateType, 0, len(p.GateDelay))
+	for t := range p.GateDelay {
+		types = append(types, t)
+	}
+	slices.Sort(types)
+	for _, t := range types {
+		u64(uint64(t))
+		f64(p.GateDelay[t])
+	}
+	return ParamsKey(buf)
+}

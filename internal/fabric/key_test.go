@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestParamsKeyEquality: equal params (including clones and re-built delay
+// maps) share a key; every single-field perturbation changes it.
+func TestParamsKeyEquality(t *testing.T) {
+	base := Default()
+	if base.Key() != Default().Key() {
+		t.Fatal("two Default() params disagree")
+	}
+	if base.Key() != base.Clone().Key() {
+		t.Fatal("clone changes the key")
+	}
+
+	muts := map[string]func(*Params){
+		"grid-width":  func(p *Params) { p.Grid.Width = 61 },
+		"grid-height": func(p *Params) { p.Grid.Height = 61 },
+		"capacity":    func(p *Params) { p.ChannelCapacity = 4 },
+		"dcnot":       func(p *Params) { p.DCNOT = 4931 },
+		"speed":       func(p *Params) { p.QubitSpeed = 0.0011 },
+		"tmove":       func(p *Params) { p.TMove = 101 },
+		"delay-value": func(p *Params) { p.GateDelay[circuit.H] = 5441 },
+		"delay-entry": func(p *Params) { delete(p.GateDelay, circuit.H) },
+	}
+	for name, mut := range muts {
+		p := Default()
+		mut(&p)
+		if p.Key() == base.Key() {
+			t.Errorf("%s: perturbed params share the base key", name)
+		}
+	}
+}
+
+// TestParamsKeyOrderIndependent: the delay table's map iteration order must
+// not leak into the key, and a swapped pair of (type, delay) entries that
+// rebuilds the same table keys identically.
+func TestParamsKeyOrderIndependent(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.GateDelay = make(map[circuit.GateType]float64, len(a.GateDelay))
+	// Insert in a different order than Default() does.
+	types := []circuit.GateType{circuit.Sdg, circuit.S, circuit.Z, circuit.Y, circuit.X, circuit.Tdg, circuit.T, circuit.H}
+	for _, typ := range types {
+		b.GateDelay[typ] = a.GateDelay[typ]
+	}
+	for i := 0; i < 32; i++ { // map order is randomized; try several walks
+		if a.Key() != b.Key() {
+			t.Fatal("insertion order changed the key")
+		}
+	}
+}
+
+// TestParamsKeyDistinguishesSwappedEntries: moving a delay from one type to
+// another with the same value set must not collide — the encoding pairs each
+// type with its own delay.
+func TestParamsKeyDistinguishesSwappedEntries(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.GateDelay[circuit.H], b.GateDelay[circuit.X] = b.GateDelay[circuit.X], b.GateDelay[circuit.H]
+	if a.Key() == b.Key() {
+		t.Fatal("swapped per-type delays share a key")
+	}
+}

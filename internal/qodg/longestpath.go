@@ -44,11 +44,14 @@ type PathScratch struct {
 
 	dist       []float64
 	from       []NodeID
-	level      []int32  // ASAP level per node
-	levelOff   []int32  // level l's nodes sit at levelNodes[levelOff[l]:levelOff[l+1]]
-	levelCur   []int32  // counting-sort fill cursors
-	levelNodes []NodeID // node IDs grouped by level, ascending within a level
-	prepCnt    []int32  // per-worker level histograms/cursors of the parallel index build
+	distM      []float64 // SoA multi-column dist: column c of node v at [v*K+c]
+	fromM      []NodeID  // SoA multi-column from, same layout
+	weightM    []float64 // SoA multi-column weights, same layout (packed columns)
+	level      []int32   // ASAP level per node
+	levelOff   []int32   // level l's nodes sit at levelNodes[levelOff[l]:levelOff[l+1]]
+	levelCur   []int32   // counting-sort fill cursors
+	levelNodes []NodeID  // node IDs grouped by level, ascending within a level
+	prepCnt    []int32   // per-worker level histograms/cursors of the parallel index build
 }
 
 // grow is csr.Grow under a local name: resize, reallocating only when the
@@ -165,6 +168,22 @@ func (g *Graph) relaxSerial(w Weights, dist []float64, from []NodeID) {
 // identical float expression and tie rule, so the result is bitwise equal
 // to relaxSerial no matter how levels are chunked across workers.
 func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
+	depth := g.buildLevelIndex(s, workers)
+	dist, from := s.dist, s.from
+	clear(dist)
+	for i := range from {
+		from[i] = -1
+	}
+	g.forEachLevel(s, workers, depth, func(span []NodeID) {
+		g.relaxSpan(w, dist, from, span)
+	})
+}
+
+// buildLevelIndex computes the ASAP level of every node and the level-grouped
+// node index (levelOff offsets + levelNodes, ascending by ID within each
+// level) into the scratch, returning the DAG depth — the partition both the
+// single- and multi-weight parallel sweeps chunk work by.
+func (g *Graph) buildLevelIndex(s *PathScratch, workers int) int32 {
 	n := len(g.Nodes)
 
 	// ASAP levels + depth, via the same kernel Levels uses. The push pass
@@ -203,21 +222,22 @@ func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 			cur[lv]++
 		}
 	}
+	return depth
+}
 
-	dist, from := s.dist, s.from
-	clear(dist)
-	for i := range from {
-		from[i] = -1
-	}
-
-	// Worker gang: helpers block on the jobs channel; the coordinator
-	// relaxes narrow levels inline (no synchronization) and splits wide
-	// levels into ≥spanGrain-node chunks, taking the first chunk itself.
-	// wg.Wait is the inter-level barrier: level l+1 only starts once every
-	// level-l chunk has finished, so each pull reads finalized dist values.
-	// The gang is spawned lazily at the first level wide enough to
-	// dispatch, so deep-narrow graphs degrade to the serial scan plus one
-	// level-index pass with no goroutine churn at all.
+// forEachLevel drives the per-level worker gang over the scratch's level
+// index, calling relax on disjoint spans of same-level nodes. relax must be
+// safe to call concurrently on disjoint spans.
+//
+// Helpers block on the jobs channel; the coordinator relaxes narrow levels
+// inline (no synchronization) and splits wide levels into ≥spanGrain-node
+// chunks, taking the first chunk itself. wg.Wait is the inter-level barrier:
+// level l+1 only starts once every level-l chunk has finished, so each pull
+// reads finalized dist values. The gang is spawned lazily at the first level
+// wide enough to dispatch, so deep-narrow graphs degrade to the serial scan
+// plus one level-index pass with no goroutine churn at all.
+func (g *Graph) forEachLevel(s *PathScratch, workers int, depth int32, relax func(span []NodeID)) {
+	off, nodes := s.levelOff, s.levelNodes
 	type span struct{ lo, hi int32 }
 	helpers := workers - 1
 	var jobs chan span
@@ -229,7 +249,7 @@ func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 			go func() {
 				defer gang.Done()
 				for sp := range jobs {
-					g.relaxSpan(w, dist, from, nodes[sp.lo:sp.hi])
+					relax(nodes[sp.lo:sp.hi])
 					wg.Done()
 				}
 			}()
@@ -244,7 +264,7 @@ func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 		}
 		chunks := (width + per - 1) / per
 		if helpers == 0 || chunks <= 1 {
-			g.relaxSpan(w, dist, from, nodes[lo:hi])
+			relax(nodes[lo:hi])
 			continue
 		}
 		if jobs == nil {
@@ -259,7 +279,7 @@ func (g *Graph) relaxParallel(w Weights, s *PathScratch, workers int) {
 			}
 			jobs <- span{clo, chi}
 		}
-		g.relaxSpan(w, dist, from, nodes[lo:lo+per])
+		relax(nodes[lo : lo+per])
 		wg.Wait()
 	}
 	if jobs != nil {
@@ -355,24 +375,32 @@ func (g *Graph) relaxSpan(w Weights, dist []float64, from []NodeID, span []NodeI
 // path slice exactly in a first pass and filling it in place in a second —
 // no append/reverse round trip.
 func (g *Graph) recoverPath(dist []float64, from []NodeID) CriticalPath {
+	return g.recoverPathStrided(dist, from, 1, 0)
+}
+
+// recoverPathStrided is recoverPath over one column of the SoA multi-column
+// slabs: node v's state for column col sits at dist[v*stride+col] /
+// from[v*stride+col]. Stride 1, column 0 is exactly the single-column layout.
+func (g *Graph) recoverPathStrided(dist []float64, from []NodeID, stride, col int) CriticalPath {
 	end := g.End()
+	at := func(v NodeID) NodeID { return from[int(v)*stride+col] }
 	cp := CriticalPath{
-		Length:      dist[end],
+		Length:      dist[int(end)*stride+col],
 		CountByType: make(map[circuit.GateType]int),
 	}
 	steps := 0
-	for v := end; ; v = from[v] {
+	for v := end; ; v = at(v) {
 		steps++
-		if v == 0 || from[v] == -1 {
+		if v == 0 || at(v) == -1 {
 			break
 		}
 	}
 	cp.Nodes = make([]NodeID, steps)
 	i := steps - 1
-	for v := end; ; v = from[v] {
+	for v := end; ; v = at(v) {
 		cp.Nodes[i] = v
 		i--
-		if v == 0 || from[v] == -1 {
+		if v == 0 || at(v) == -1 {
 			break
 		}
 	}

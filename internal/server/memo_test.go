@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/leqa/client"
+	"repro/leqa/trace"
+)
+
+// TestResultMemoHealthzAndMetrics: the (digest, params) result memo is on
+// by default, its counters reach /healthz's resultMemo block and the
+// /metrics exposition, and a repeated identical request registers a hit.
+func TestResultMemoHealthzAndMetrics(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{})
+	req := client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}
+	for range 2 {
+		if _, err := c.Estimate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResultMemo.Capacity == 0 {
+		t.Fatalf("resultMemo block missing or memo disabled: %+v", h.ResultMemo)
+	}
+	if h.ResultMemo.Hits < 1 || h.ResultMemo.Misses < 1 || h.ResultMemo.Entries < 1 {
+		t.Fatalf("repeated identical estimate must hit the memo: %+v", h.ResultMemo)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, series := range []string{
+		"leqad_result_memo_hits_total 1",
+		"leqad_result_memo_misses_total 1",
+		"leqad_result_memo_evictions_total 0",
+		"leqad_result_memo_entries 1",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestResultMemoDisabledConfig: negative ResultMemoEntries turns the memo
+// off — /healthz reports an all-zero block and repeats recompute.
+func TestResultMemoDisabledConfig(t *testing.T) {
+	_, c := newTestServer(t, server.Config{ResultMemoEntries: -1})
+	req := client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}
+	for range 2 {
+		if _, err := c.Estimate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResultMemo != (client.MemoStats{}) {
+		t.Fatalf("disabled memo must report zeros: %+v", h.ResultMemo)
+	}
+}
+
+// TestTraceMemoOutcome pins the estimate span's memo attribution: the cold
+// request's estimate span says memo=miss, the warm twin's says memo=hit
+// (and carries cols=0 — no column was computed).
+func TestTraceMemoOutcome(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	estimate := func(id string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate",
+			gridBody(t, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", id)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate %s: %d", id, resp.StatusCode)
+		}
+	}
+	estimate("memo-cold-1")
+	estimate("memo-warm-1")
+
+	snaps := debugRequests(t, ts.URL)
+	estimateDetail := func(id string) string {
+		t.Helper()
+		snap := findSnapshot(snaps, id)
+		if snap == nil {
+			t.Fatalf("%s not in /debug/requests", id)
+		}
+		for _, sp := range snap.Spans {
+			if sp.Name == trace.SpanEstimate {
+				return sp.Detail
+			}
+		}
+		t.Fatalf("%s has no estimate span", id)
+		return ""
+	}
+	if d := estimateDetail("memo-cold-1"); !strings.Contains(d, "memo=miss") {
+		t.Fatalf("cold estimate span detail = %q, want memo=miss", d)
+	}
+	if d := estimateDetail("memo-warm-1"); !strings.Contains(d, "memo=hit") || !strings.Contains(d, "cols=0") {
+		t.Fatalf("warm estimate span detail = %q, want cols=0 memo=hit", d)
+	}
+}

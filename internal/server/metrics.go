@@ -91,6 +91,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(bw, "# TYPE leqad_zone_model_cache_entries gauge\n")
 	fmt.Fprintf(bw, "leqad_zone_model_cache_entries %d\n", st.Entries)
 
+	var rm leqa.ResultMemoStats
+	if s.memo != nil {
+		rm = s.memo.Stats()
+	}
+	for _, c := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"leqad_result_memo_hits_total", "Result memo hits: (digest, params) cells served without analyze or estimate.", rm.Hits},
+		{"leqad_result_memo_misses_total", "Result memo misses (cells computed and published).", rm.Misses},
+		{"leqad_result_memo_evictions_total", "Result memo LRU evictions.", rm.Evictions},
+	} {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	fmt.Fprintf(bw, "# HELP leqad_result_memo_entries Result memo resident entries.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_result_memo_entries gauge\n")
+	fmt.Fprintf(bw, "leqad_result_memo_entries %d\n", rm.Entries)
+
 	fmt.Fprintf(bw, "# HELP leqad_workers Estimation worker-pool size.\n")
 	fmt.Fprintf(bw, "# TYPE leqad_workers gauge\n")
 	fmt.Fprintf(bw, "leqad_workers %d\n", s.runner.Workers())

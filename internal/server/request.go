@@ -127,8 +127,12 @@ func (s *Server) runnerFor(spec *client.OptionsSpec) (*leqa.Runner, error) {
 		return nil, err
 	}
 	// Analyses are estimator-option-independent, so transient runners share
-	// the server's content-addressed store.
+	// the server's content-addressed store; the result memo's key includes
+	// the runner's options, so sharing it across option overlays is safe too.
 	r.SetAnalysisStore(s.store)
+	if s.memo != nil {
+		r.SetResultMemo(s.memo)
+	}
 	return r, nil
 }
 
@@ -237,6 +241,7 @@ func (s *Server) resolveSource(ctx context.Context, spec client.CircuitSpec, dec
 	}
 	src := leqa.AnalysisSource(name, a)
 	src.StoreOutcome = outcome.String()
+	src.Digest = digest // pre-known digest: the result memo can probe warm cells
 	return src, nil
 }
 

@@ -90,6 +90,12 @@ type Config struct {
 	StoreMemEntries int
 	// StoreMaxDiskBytes caps the store's disk tier; ≤ 0 means unbounded.
 	StoreMaxDiskBytes int64
+	// ResultMemoEntries sizes the (digest, params) result memo that lets
+	// warm identical estimate/sweep/grid cells skip analyze and estimate
+	// entirely: 0 selects leqa.DefaultResultMemoEntries, negative disables
+	// the memo. Hits are exact-key only, so every setting is
+	// result-preserving.
+	ResultMemoEntries int
 	// Version is the build identifier reported by /healthz.
 	Version string
 	// Log receives request-level diagnostics; nil discards them.
@@ -122,6 +128,7 @@ type Server struct {
 	cfg     Config
 	runner  *leqa.Runner
 	store   *leqa.AnalysisStore
+	memo    *leqa.ResultMemo // nil when disabled
 	mux     *http.ServeMux
 	handler http.Handler // mux behind the observability middleware
 	sem     chan struct{}
@@ -267,11 +274,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: analysis store: %w", err)
 	}
 	runner.SetAnalysisStore(store)
+	var memo *leqa.ResultMemo
+	if cfg.ResultMemoEntries >= 0 {
+		memo = leqa.NewResultMemo(cfg.ResultMemoEntries)
+		runner.SetResultMemo(memo)
+	}
 	baseCtx, abort := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		runner:    runner,
 		store:     store,
+		memo:      memo,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		start:     time.Now(),
 		baseCtx:   baseCtx,
@@ -428,6 +441,10 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := leqa.ZoneModelCacheStats()
 	as := s.store.Stats()
+	var ms leqa.ResultMemoStats
+	if s.memo != nil {
+		ms = s.memo.Stats()
+	}
 	writeJSON(w, http.StatusOK, client.Health{
 		Status:          "ok",
 		Version:         s.cfg.Version,
@@ -456,6 +473,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Capacity:      as.Capacity,
 			DiskEntries:   as.DiskEntries,
 			DiskBytes:     as.DiskBytes,
+		},
+		ResultMemo: client.MemoStats{
+			Hits:      ms.Hits,
+			Misses:    ms.Misses,
+			Evictions: ms.Evictions,
+			Entries:   ms.Entries,
+			Capacity:  ms.Capacity,
 		},
 	})
 }

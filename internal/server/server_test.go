@@ -227,7 +227,9 @@ func TestGridStreamsIncrementallyInOrder(t *testing.T) {
 }
 
 func TestSecondRequestHitsZoneModelCache(t *testing.T) {
-	_, c := newTestServer(t, server.Config{})
+	// Disable the result memo: it would satisfy the second request before
+	// the estimate phase (and thus the zone-model memo) is ever reached.
+	_, c := newTestServer(t, server.Config{ResultMemoEntries: -1})
 	req := client.EstimateRequest{
 		CircuitSpec: client.CircuitSpec{Generate: "ham7"},
 		// A fabric no other test uses, so the first request computes the

@@ -135,6 +135,16 @@ type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 }
 
+// MemoStats mirrors leqa.ResultMemoStats on the wire: the (digest, params)
+// result memo's cumulative counters. All zero when the memo is disabled.
+type MemoStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
 // LatencyStats summarizes per-request estimate latency: every estimation
 // request (estimate/sweep/grid) that began a successful reply, timed from
 // slot acquisition to the last byte. Requests rejected up front (4xx/5xx —
@@ -172,6 +182,7 @@ type Health struct {
 	EstimateLatency LatencyStats `json:"estimateLatency"`
 	ZoneModelCache  CacheStats   `json:"zoneModelCache"`
 	AnalysisStore   StoreStats   `json:"analysisStore"`
+	ResultMemo      MemoStats    `json:"resultMemo"`
 }
 
 // APIError is the JSON error envelope every non-2xx reply carries.

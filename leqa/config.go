@@ -41,6 +41,22 @@ const (
 	EnvStoreDiskBytes = "LEQA_STORE_DISK_BYTES"
 )
 
+// EnvResultMemoEntries configures the (digest, params) result memo's LRU
+// entry cap for cmd/leqad (the -result-memo flag overrides): unset or 0
+// selects DefaultResultMemoEntries, a negative value disables the memo
+// entirely. The memo only ever serves exact-key hits, so every setting is
+// result-preserving.
+const EnvResultMemoEntries = "LEQA_RESULT_MEMO_ENTRIES"
+
+// ResultMemoEntriesFromEnv reads LEQA_RESULT_MEMO_ENTRIES: 0 when unset
+// (select the default), positive for an explicit LRU cap, negative to
+// disable the result memo.
+func ResultMemoEntriesFromEnv() (int, error) {
+	n := 0
+	err := applyEnvInt(EnvResultMemoEntries, func(v int) { n = v })
+	return n, err
+}
+
 // StoreOptionsFromEnv overlays the LEQA_STORE_* variables onto opt,
 // leaving unset ones alone — the env half of the store configuration; the
 // commands apply their flags on top.

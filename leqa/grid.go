@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 )
 
 // GridCell is one (circuit, parameter-set) estimate inside a cross-product
@@ -39,11 +40,48 @@ func (r *Runner) gridEstimators(paramSets []Params) ([]*core.Estimator, error) {
 	return ests, nil
 }
 
+// gridColumns canonicalizes one grid request's parameter columns: keys[j]
+// is column j's exact fabric.ParamsKey, rep[j] is the lowest column with an
+// identical key (rep[j] == j for representatives), and uniq lists the
+// representatives in ascending column order. Duplicate columns — common in
+// scripted design-space sweeps that perturb one field through a list with
+// repeats — are estimated once and share the representative's Result
+// pointer (Results are immutable by convention).
+type gridColumns struct {
+	keys []fabric.ParamsKey
+	rep  []int
+	uniq []int
+}
+
+func newGridColumns(paramSets []Params) *gridColumns {
+	cols := &gridColumns{
+		keys: make([]fabric.ParamsKey, len(paramSets)),
+		rep:  make([]int, len(paramSets)),
+	}
+	first := make(map[fabric.ParamsKey]int, len(paramSets))
+	for j, p := range paramSets {
+		k := p.Key()
+		cols.keys[j] = k
+		if r, ok := first[k]; ok {
+			cols.rep[j] = r
+			continue
+		}
+		first[k] = j
+		cols.rep[j] = j
+		cols.uniq = append(cols.uniq, j)
+	}
+	return cols
+}
+
 // SweepGrid estimates the full circuits × paramSets cross product. Each
 // circuit is analyzed exactly once — the fused QODG+IIG build is
 // fabric-independent — and the resulting Analysis is shared by every
-// parameter set; the per-cell work that remains is Algorithm 1 itself,
-// which the zonemodel LRU further collapses across cells sharing a fabric
+// parameter set; the estimate phase then runs as one batched row per
+// circuit (core.EstimateAnalysisBatch), building every column's weight
+// vector in a single node scan and relaxing all columns' critical paths in
+// one multi-weight traversal. Duplicate parameter columns are deduplicated
+// by canonical fabric.ParamsKey and estimated once; the zonemodel LRU
+// further collapses the scalar phase across cells sharing a fabric
 // configuration. Cells come back in input order (circuit-major). The error
 // is non-nil when ctx was cancelled or a parameter set fails validation;
 // per-circuit and per-cell failures land in GridCell.Err.

@@ -3,7 +3,6 @@ package leqa
 import (
 	"context"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -87,6 +86,11 @@ type Source struct {
 	// "disk") for request-trace attribution; empty reads as "ref". Purely
 	// observational — it never changes estimation.
 	StoreOutcome string
+	// Digest, when non-empty, is the circuit's content digest, already known
+	// before any ingestion — a by-reference request resolved from the
+	// analysis store, typically. It lets the result memo probe for warm
+	// (digest, params) cells before the source is opened or analyzed.
+	Digest string
 }
 
 // FileSource streams a .qc file, naming the circuit after the file. The
@@ -303,66 +307,56 @@ func (r *Runner) SweepGridSources(ctx context.Context, sources []Source, paramSe
 	return cells, err
 }
 
-// SweepGridSourcesStream is SweepGridSources with per-cell delivery in
-// circuit-major input order, mirroring SweepGridStream's contract.
+// SweepGridSourcesStream is SweepGridSources with per-row delivery in
+// circuit-major input order, mirroring SweepGridStream's contract: each
+// worker owns one source's whole row, analyzes it once (store-shared when a
+// store is attached) and estimates every parameter column in one batched
+// call — consulting the result memo first when the source's digest is
+// already known.
 func (r *Runner) SweepGridSourcesStream(ctx context.Context, sources []Source, paramSets []Params, emit func(GridCell) error) error {
 	ests, err := r.gridEstimators(paramSets)
 	if err != nil {
 		return err
 	}
-	type lazyAnalysis struct {
-		once sync.Once
-		a    *analysis.Analysis
-		err  error
-	}
-	analyses := make([]lazyAnalysis, len(sources))
-	analyze := func(i int) (*analysis.Analysis, error) {
-		la := &analyses[i]
-		la.once.Do(func() {
-			la.a, la.err = r.analyzeSource(ctx, sources[i])
-		})
-		return la.a, la.err
-	}
-	m := len(paramSets)
-	err = pool.ForEachOrdered(len(sources)*m, r.workers, func(k int) GridCell {
-		i, j := k/m, k%m
-		cell := GridCell{
-			CircuitIndex: i,
-			ParamsIndex:  j,
-			Name:         sources[i].Name,
-			Params:       paramSets[j],
+	cols := newGridColumns(paramSets)
+	err = pool.ForEachOrdered(len(sources), r.workers, func(i int) []GridCell {
+		s := sources[i]
+		row := make([]GridCell, len(paramSets))
+		for j := range row {
+			row[j] = GridCell{
+				CircuitIndex: i,
+				ParamsIndex:  j,
+				Name:         s.Name,
+				Params:       paramSets[j],
+			}
 		}
 		if err := ctx.Err(); err != nil {
-			cell.Err = err
-			return cell
+			for j := range row {
+				row[j].Err = err
+			}
+			return row
 		}
 		ar := r.arena()
 		defer r.release(ar)
-		if m == 1 && sources[i].Analysis == nil && r.store == nil {
-			// Single column, no store: the stream feeds exactly one cell,
-			// so the whole analyze+estimate runs in this worker's arena.
-			src, err := sources[i].Open()
+		if len(paramSets) == 1 && s.Analysis == nil && r.store == nil && (r.memo == nil || s.Digest == "") {
+			// Single column, no store, no memo probe possible: the stream
+			// feeds exactly one cell, so the whole analyze+estimate runs in
+			// this worker's arena.
+			src, err := s.Open()
 			if err != nil {
-				cell.Err = err
-				return cell
+				row[0].Err = err
+				return row
 			}
 			defer closeStream(src)
-			cell.Result, cell.Err = estimateStreamPhased(ctx, ests[j], &ctxStream{src: src, ctx: ctx}, ar)
-			return cell
+			row[0].Result, row[0].Err = estimateStreamPhased(ctx, ests[0], &ctxStream{src: src, ctx: ctx}, ar)
+			return row
 		}
-		a, aerr := analyze(i)
-		switch {
-		case aerr != nil:
-			cell.Err = aerr
-		case ctx.Err() != nil:
-			cell.Err = ctx.Err()
-		default:
-			t := time.Now()
-			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
-			observePhase(ctx, PhaseEstimate, t)
-		}
-		return cell
-	}, emit)
+		r.estimateRow(ctx, row, ests, cols,
+			func() (string, bool) { return s.Digest, s.Digest != "" },
+			func() (*analysis.Analysis, error) { return r.analyzeSource(ctx, s) },
+			ar)
+		return row
+	}, emitRow(emit))
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,10 @@ package leqa
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/pool"
 )
 
@@ -22,106 +22,228 @@ import (
 // work not yet started is never run.
 
 // SweepGridStream estimates the circuits × paramSets cross product exactly
-// like SweepGrid — each circuit analyzed once, cells in circuit-major input
-// order — but delivers every GridCell to emit as it completes instead of
-// collecting the batch. Cancellation is observed per cell: cells that
-// never ran carry ctx's error, and the function returns ctx.Err() after
-// the last delivery. A parameter-set validation failure is returned before
-// any work starts.
+// like SweepGrid — cells in circuit-major input order — but delivers every
+// GridCell to emit as soon as its row completes instead of collecting the
+// batch. Each worker owns one whole row (one circuit × every parameter
+// column): it analyzes the circuit once in its own arena and runs the
+// estimate phase as a single batched core.EstimateAnalysisBatch call, so the
+// QODG adjacency streams through the cache once for all columns.
+// Cancellation is observed per row: cells that never ran carry ctx's error,
+// and the function returns ctx.Err() after the last delivery. A
+// parameter-set validation failure is returned before any work starts.
 func (r *Runner) SweepGridStream(ctx context.Context, circuits []*Circuit, paramSets []Params, emit func(GridCell) error) error {
 	ests, err := r.gridEstimators(paramSets)
 	if err != nil {
 		return err
 	}
-	// Analyses are computed lazily, once per circuit, by whichever worker
-	// first needs one — no up-front barrier over the whole batch, so the
-	// first circuit's cells stream while later circuits are still
-	// unanalyzed. Workers on the same circuit share the computation.
-	type lazyAnalysis struct {
-		once sync.Once
-		a    *analysis.Analysis
-		err  error
-	}
-	analyses := make([]lazyAnalysis, len(circuits))
-	analyze := func(i int) (*analysis.Analysis, error) {
-		la := &analyses[i]
-		la.once.Do(func() {
-			if err := ctx.Err(); err != nil {
-				la.err = err
-				return
+	cols := newGridColumns(paramSets)
+	// Stream the cross product row by row. Every row is dispatched even
+	// after cancellation — cancelled cells carry the context error — so the
+	// stream always accounts for every (circuit, params) pair. Each row
+	// borrows a pooled arena for both phases' scratch: the analysis feeds
+	// exactly this row, so the graph build runs in the same arena and the
+	// whole row is near-allocation-free once the pool is warm.
+	err = pool.ForEachOrdered(len(circuits), r.workers, func(i int) []GridCell {
+		c := circuits[i]
+		row := make([]GridCell, len(paramSets))
+		for j := range row {
+			row[j] = GridCell{
+				CircuitIndex: i,
+				ParamsIndex:  j,
+				Name:         c.Name,
+				Params:       paramSets[j],
 			}
-			c := circuits[i]
-			if la.err = ftError(c); la.err != nil {
-				return
-			}
-			t := time.Now()
-			la.a, la.err = analysis.Analyze(c)
-			observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
-				return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), nil))
-			})
-		})
-		return la.a, la.err
-	}
-
-	// analyzeArena is the single-column fast path: the analysis feeds only
-	// the calling worker's one cell, so it runs in that worker's arena with
-	// the same check order (ctx, FT, analyze) as the shared lazy path.
-	analyzeArena := func(ctx context.Context, c *Circuit, ar *analysis.Arena) (*analysis.Analysis, error) {
+		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if err := ftError(c); err != nil {
-			return nil, err
-		}
-		t := time.Now()
-		a, err := ar.Analyze(c)
-		observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
-			return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), ar))
-		})
-		return a, err
-	}
-
-	// Stream the cross product. Every slot is dispatched even after
-	// cancellation — cancelled cells carry the context error — so the
-	// stream always accounts for every (circuit, params) pair. Each cell
-	// borrows a pooled arena for its estimate-phase scratch; with a single
-	// parameter column the analysis feeds exactly one cell, so the graph
-	// build runs in the same arena too and the whole cell is
-	// allocation-free once the pool is warm.
-	m := len(paramSets)
-	err = pool.ForEachOrdered(len(circuits)*m, r.workers, func(k int) GridCell {
-		i, j := k/m, k%m
-		cell := GridCell{
-			CircuitIndex: i,
-			ParamsIndex:  j,
-			Name:         circuits[i].Name,
-			Params:       paramSets[j],
+			for j := range row {
+				row[j].Err = err
+			}
+			return row
 		}
 		ar := r.arena()
 		defer r.release(ar)
-		var a *analysis.Analysis
-		var aerr error
-		if m == 1 {
-			a, aerr = analyzeArena(ctx, circuits[i], ar)
-		} else {
-			a, aerr = analyze(i)
-		}
-		switch {
-		case aerr != nil:
-			cell.Err = aerr
-		case ctx.Err() != nil:
-			cell.Err = ctx.Err()
-		default:
-			t := time.Now()
-			cell.Result, cell.Err = ests[j].EstimateAnalysisArena(a, ar)
-			observePhase(ctx, PhaseEstimate, t)
-		}
-		return cell
-	}, emit)
+		r.estimateRow(ctx, row, ests, cols,
+			func() (string, bool) {
+				if ftError(c) != nil {
+					return "", false
+				}
+				d, err := CircuitDigest(c)
+				return d, err == nil
+			},
+			func() (*analysis.Analysis, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				if err := ftError(c); err != nil {
+					return nil, err
+				}
+				t := time.Now()
+				a, err := ar.Analyze(c)
+				observePhaseDetail(ctx, PhaseAnalyze, t, func() string {
+					return analyzeDetail("", c.NumGates(), analysis.ShardPlan(c.NumGates(), ar))
+				})
+				return a, err
+			},
+			ar)
+		return row
+	}, emitRow(emit))
 	if err != nil {
 		return err
 	}
 	return ctx.Err()
+}
+
+// emitRow adapts a per-cell emit callback to the row-granular pool stream.
+func emitRow(emit func(GridCell) error) func([]GridCell) error {
+	return func(row []GridCell) error {
+		for _, cell := range row {
+			if err := emit(cell); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// estimateRow fills one grid row — one circuit under every parameter column
+// — in place. digest lazily reports the circuit's content digest (ok ==
+// false when unknown or not worth computing); analyze lazily produces the
+// shared Analysis; both run at most once. The row consults the result memo
+// first (when attached and the digest is known): memo-hit columns skip
+// analyze and estimate entirely, and a row whose unique columns all hit
+// never touches the circuit at all. Remaining columns estimate as one
+// batched call, and duplicate columns alias their representative's Result.
+//
+// Memo single-flight discipline: claim every column non-blocking first,
+// compute and fulfill all owned entries, and only then wait on entries
+// owned by other rows — rows with overlapping claim sets therefore cannot
+// deadlock. Errors are never memoized; if a foreign owner fails, the waiter
+// recomputes its column directly once.
+func (r *Runner) estimateRow(ctx context.Context, row []GridCell, ests []*core.Estimator, cols *gridColumns,
+	digest func() (string, bool), analyze func() (*analysis.Analysis, error), ar *analysis.Arena) {
+	res := make([]*EstimateResult, len(row))
+	errs := make([]error, len(row))
+
+	var owned, foreign map[int]*memoEntry
+	probed := false
+	if r.memo != nil {
+		if d, ok := digest(); ok {
+			probed = true
+			for _, j := range cols.uniq {
+				e, own := r.memo.claim(r.memoKey(d, cols.keys[j]))
+				if own {
+					if owned == nil {
+						owned = make(map[int]*memoEntry)
+					}
+					owned[j] = e
+				} else {
+					if foreign == nil {
+						foreign = make(map[int]*memoEntry)
+					}
+					foreign[j] = e
+				}
+			}
+		}
+	}
+	compute := cols.uniq
+	if len(foreign) > 0 {
+		compute = make([]int, 0, len(cols.uniq))
+		for _, j := range cols.uniq {
+			if _, ok := foreign[j]; !ok {
+				compute = append(compute, j)
+			}
+		}
+	}
+
+	var a *analysis.Analysis
+	var aerr error
+	analyzed := false
+	ensure := func() (*analysis.Analysis, error) {
+		if !analyzed {
+			analyzed = true
+			a, aerr = analyze()
+		}
+		return a, aerr
+	}
+
+	if len(compute) > 0 {
+		if a, err := ensure(); err != nil {
+			for _, j := range compute {
+				errs[j] = err
+			}
+		} else if err := ctx.Err(); err != nil {
+			for _, j := range compute {
+				errs[j] = err
+			}
+		} else if len(compute) == 1 {
+			// One column to compute: the single-column estimate is the
+			// batched call's bitwise definition and skips its table setup.
+			j := compute[0]
+			t := time.Now()
+			res[j], errs[j] = ests[j].EstimateAnalysisArena(a, ar)
+			observePhaseDetail(ctx, PhaseEstimate, t, func() string {
+				if probed {
+					return "cols=1 memo=miss"
+				}
+				return "cols=1"
+			})
+		} else {
+			sub := make([]*core.Estimator, len(compute))
+			for i, j := range compute {
+				sub[i] = ests[j]
+			}
+			t := time.Now()
+			bres, berrs := core.EstimateAnalysisBatch(sub, a, ar)
+			observePhaseDetail(ctx, PhaseEstimate, t, func() string {
+				d := "cols=" + itoa(len(sub))
+				if probed {
+					d += " memo=miss"
+				}
+				return d
+			})
+			for i, j := range compute {
+				res[j], errs[j] = bres[i], berrs[i]
+			}
+		}
+		for _, j := range compute {
+			if e, ok := owned[j]; ok {
+				r.memo.fulfill(e, res[j], errs[j])
+			}
+		}
+	} else if probed && len(cols.uniq) > 0 {
+		// Every unique column is in flight or resident elsewhere: the row
+		// skips analyze and estimate entirely. Record the skip on the trace
+		// so a warm cell's span shows where the time didn't go.
+		observePhaseDetail(ctx, PhaseEstimate, time.Now(), func() string {
+			return "cols=0 memo=hit"
+		})
+	}
+
+	for j, e := range foreign {
+		cr, cerr := e.wait(ctx)
+		switch {
+		case cerr == nil:
+			res[j] = cr
+		case ctx.Err() != nil:
+			errs[j] = ctx.Err()
+		default:
+			// The owning row failed and unpublished the entry. Its error may
+			// have been transient (its context, not ours), so recompute this
+			// column directly once rather than inheriting it.
+			if a, err := ensure(); err != nil {
+				errs[j] = err
+			} else {
+				t := time.Now()
+				res[j], errs[j] = ests[j].EstimateAnalysisArena(a, ar)
+				observePhase(ctx, PhaseEstimate, t)
+			}
+		}
+	}
+
+	for jj := range row {
+		j := cols.rep[jj]
+		row[jj].Result, row[jj].Err = res[j], errs[j]
+	}
 }
 
 // RunStream is Run with per-result delivery: every SweepResult reaches emit

@@ -44,6 +44,8 @@ type Runner struct {
 	arenas  sync.Pool    // of *analysis.Arena
 	active  atomic.Int32 // arenas currently checked out ≈ cells in flight
 	store   *AnalysisStore
+	memo    *ResultMemo // optional (digest, params) result memo; see memo.go
+	memoOpt string      // options prefix baked into every memo key
 }
 
 // arena checks a warm arena out of the pool (or makes a fresh one). The
