@@ -41,6 +41,18 @@
 //	-max-gates       per-circuit operation cap (post-decomposition)
 //	-max-cells       circuits × paramSets cap per batch
 //	-max-concurrent  simultaneous estimation requests before 429
+//	-max-queue       excess requests held in a bounded wait for a slot
+//	                 before 429 (default 0 = reject immediately); 429s carry
+//	                 a Retry-After priced from the windowed queue-wait p50
+//	-queue-timeout   max wait of one queued request (default 5s)
+//	-window          sliding-window span behind windowed percentiles, error
+//	                 rates and per-client counts (default 60s)
+//	-slo             latency/error objectives scored against the windows,
+//	                 e.g. "estimate:p99<250ms,error_rate<1%" (env LEQA_SLO);
+//	                 sustained breach flips /healthz to "degraded"
+//	-slo-interval    SLO evaluation cadence (default 5s)
+//	-degrade-after   consecutive breaching evaluations before degraded (3)
+//	-max-clients     tracked per-client series cardinality (default 64)
 //	-drain           graceful-shutdown drain window
 //	-parallel-threshold  critical-path parallel sweep threshold in nodes
 //	                 (default 65536; env LEQA_PARALLEL_THRESHOLD)
@@ -122,6 +134,13 @@ func run() error {
 		maxGates      = flag.Int("max-gates", server.DefaultMaxGates, "per-circuit operation cap")
 		maxCells      = flag.Int("max-cells", server.DefaultMaxCells, "circuits × paramSets cap per batch")
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "simultaneous estimation requests")
+		maxQueue      = flag.Int("max-queue", 0, "excess estimation requests held in a bounded wait for a slot before 429 (0 = reject immediately)")
+		queueTimeout  = flag.Duration("queue-timeout", 0, "max wait of one queued request (0 = 5s; needs -max-queue)")
+		window        = flag.Duration("window", 0, "sliding-window span for windowed percentiles, error rates and per-client counts (0 = 60s)")
+		sloSpec       = flag.String("slo", "", `latency/error objectives, e.g. "estimate:p99<250ms,error_rate<1%" (default $LEQA_SLO; empty disables)`)
+		sloInterval   = flag.Duration("slo-interval", 0, "SLO evaluation cadence (0 = 5s)")
+		degradeAfter  = flag.Int("degrade-after", 0, "consecutive breaching evaluations before /healthz reports degraded (0 = 3)")
+		maxClients    = flag.Int("max-clients", 0, "tracked per-client accounting cardinality; excess folds into \"other\" (0 = 64)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		parThresh     = flag.Int("parallel-threshold", -1, "critical-path parallel sweep threshold in nodes (-1 = default or $LEQA_PARALLEL_THRESHOLD)")
 		shardThresh   = flag.Int("shard-threshold", -1, "analysis shard-parallel threshold in gates, 0 disables sharding (-1 = default or $LEQA_SHARD_THRESHOLD)")
@@ -204,6 +223,13 @@ func run() error {
 	params.QubitSpeed = *speed
 	params.TMove = *tmove
 
+	// SLO: environment first, explicit flag overrides — matching the other
+	// tuning knobs.
+	slo := os.Getenv("LEQA_SLO")
+	if *sloSpec != "" {
+		slo = *sloSpec
+	}
+
 	logger := log.New(os.Stderr, "leqad: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		Params:            params,
@@ -215,6 +241,13 @@ func run() error {
 		MaxGates:          *maxGates,
 		MaxCells:          *maxCells,
 		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		QueueTimeout:      *queueTimeout,
+		Window:            *window,
+		SLO:               slo,
+		SLOInterval:       *sloInterval,
+		DegradeAfter:      *degradeAfter,
+		MaxClients:        *maxClients,
 		StoreDir:          storeOpt.Dir,
 		StoreMemEntries:   storeOpt.MemEntries,
 		StoreMaxDiskBytes: storeOpt.MaxDiskBytes,
@@ -253,6 +286,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background SLO evaluation: objectives keep being scored (and breach
+	// runs keep aging) while the server idles between requests and scrapes.
+	if slo != "" {
+		go srv.RunSLO(ctx.Done())
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -1,0 +1,769 @@
+// Command leqaload is the leqad load harness: an open-loop, mixed-workload
+// generator that drives a running server through its public API, scrapes
+// /metrics while doing so, and emits a JSON SLO report tying the two views
+// together — achieved RPS, client-side percentiles per endpoint, the
+// server's windowed percentiles and memo/store hit rates, and a verdict per
+// configured SLO clause. It exists to prove (or refute) latency objectives
+// from the server's own telemetry, with the client-side measurements as the
+// independent check.
+//
+// Usage:
+//
+//	leqaload [flags]
+//	leqaload -healthz            pretty-print the server's /healthz (incl. slo block) and exit
+//
+// The generator is open-loop: request start times are scheduled from the
+// target rate, not from completions, so a slow server accrues outstanding
+// work (bounded by -max-outstanding; sheds past it are counted, keeping the
+// schedule honest rather than silently degrading to closed-loop). A run is
+// a linear ramp (0 → -rps over -ramp) followed by a steady phase (-steady
+// at -rps). The workload mix is weighted across four request kinds:
+//
+//	estimate  POST /v1/estimate of a generated circuit (JSON spec)
+//	sweep     POST /v1/sweep, -sweep-size circuits, NDJSON rows consumed
+//	grid      POST /v1/grid, circuits × 2 parameter sets, NDJSON rows consumed
+//	byref     POST /v1/estimate by stored-circuit digest (uploaded once at startup)
+//
+// SLO clauses on the server (leqad -slo) are read back from /healthz and
+// reported per clause; -slo adds client-side clauses evaluated against the
+// harness's own measurements. The agreement check compares the server's
+// windowed p99 per endpoint against the client-side steady-phase p99 and
+// flags divergence beyond -agree.
+//
+// The run is context-cancellable: SIGINT/SIGTERM stops scheduling, drains
+// outstanding requests briefly, and emits the report for the traffic that
+// ran.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leqaload:", err)
+		os.Exit(1)
+	}
+}
+
+// mixEntry is one weighted workload kind.
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+var mixKinds = map[string]bool{"estimate": true, "sweep": true, "grid": true, "byref": true}
+
+// parseMix parses "estimate=6,sweep=2,grid=1,byref=3".
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want kind=weight", part)
+		}
+		if !mixKinds[kind] {
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want estimate, sweep, grid, byref)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		if n > 0 {
+			mix = append(mix, mixEntry{kind: kind, weight: n})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty workload mix %q", s)
+	}
+	return mix, nil
+}
+
+// pickKind draws one workload kind by weight.
+func pickKind(rng *rand.Rand, mix []mixEntry, total int) string {
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.kind
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].kind
+}
+
+// sample is one finished request, as the client saw it.
+type sample struct {
+	kind     string
+	endpoint string // server /metrics endpoint label the request lands on
+	start    time.Time
+	dur      time.Duration
+	rows     int
+	err      error
+	status   int // 0 when no HTTP status was involved (transport error)
+}
+
+// percentile is the exact nearest-rank percentile over sorted samples.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// EndpointReport is one endpoint's client/server latency comparison.
+type EndpointReport struct {
+	Sent   uint64 `json:"sent"`
+	OK     uint64 `json:"ok"`
+	Errors uint64 `json:"errors"`
+	Rows   uint64 `json:"rows"`
+	// Client-side percentiles (milliseconds) over successful requests:
+	// whole run, and the steady phase alone.
+	ClientP50Ms float64 `json:"clientP50Ms"`
+	ClientP90Ms float64 `json:"clientP90Ms"`
+	ClientP99Ms float64 `json:"clientP99Ms"`
+	SteadyCount uint64  `json:"steadyCount"`
+	SteadyP50Ms float64 `json:"steadyP50Ms"`
+	SteadyP99Ms float64 `json:"steadyP99Ms"`
+	// Server-side windowed percentiles from the final /metrics scrape.
+	ServerWindowCount uint64  `json:"serverWindowCount"`
+	ServerP50Ms       float64 `json:"serverP50Ms"`
+	ServerP99Ms       float64 `json:"serverP99Ms"`
+	// P99Divergence = |steady client p99 − server window p99| / server p99;
+	// AgreementChecked is false when either side had too few samples.
+	P99Divergence    float64 `json:"p99Divergence"`
+	AgreementChecked bool    `json:"agreementChecked"`
+	AgreementOK      bool    `json:"agreementOk"`
+}
+
+// ClauseReport is one SLO clause's verdict in the report.
+type ClauseReport struct {
+	Clause          string  `json:"clause"`
+	Source          string  `json:"source"` // "server" (healthz) or "client" (-slo)
+	Current         float64 `json:"current"`
+	Limit           float64 `json:"limit"`
+	HasData         bool    `json:"hasData"`
+	Compliant       bool    `json:"compliant"`
+	ComplianceRatio float64 `json:"complianceRatio,omitempty"`
+	Breaches        uint64  `json:"breaches,omitempty"`
+	Verdict         string  `json:"verdict"` // "pass", "breached", "no-data"
+}
+
+// Report is the harness's JSON output.
+type Report struct {
+	Addr        string   `json:"addr"`
+	Mix         string   `json:"mix"`
+	TargetRPS   float64  `json:"targetRps"`
+	RampSec     float64  `json:"rampSec"`
+	SteadySec   float64  `json:"steadySec"`
+	ElapsedSec  float64  `json:"elapsedSec"`
+	Scheduled   uint64   `json:"scheduled"`
+	Shed        uint64   `json:"shed"`
+	Completed   uint64   `json:"completed"`
+	Failures    uint64   `json:"failures"`
+	AchievedRPS float64  `json:"achievedRps"`
+	Canceled    bool     `json:"canceled,omitempty"`
+	Warnings    []string `json:"warnings,omitempty"`
+
+	Endpoints map[string]*EndpointReport `json:"endpoints"`
+
+	Server struct {
+		Version          string             `json:"version"`
+		Status           string             `json:"status"`
+		Degraded         bool               `json:"degraded"`
+		WindowSec        float64            `json:"windowSec"`
+		Throttled        map[string]float64 `json:"throttled"`
+		ResultMemoHit    float64            `json:"resultMemoHitRate"`
+		AnalysisStoreHit float64            `json:"analysisStoreHitRate"`
+		QueueWaitP50Ms   float64            `json:"queueWaitP50Ms"`
+	} `json:"server"`
+
+	SLO []ClauseReport `json:"slo"`
+
+	// AgreementOK is false when any checked endpoint diverged beyond the
+	// tolerance; AllServerClausesPass when every server clause with data
+	// was compliant at the end of the run.
+	AgreementOK          bool `json:"agreementOk"`
+	AllServerClausesPass bool `json:"allServerClausesPass"`
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://localhost:8347", "leqad base URL")
+		rps      = flag.Float64("rps", 20, "steady-phase request rate")
+		ramp     = flag.Duration("ramp", 5*time.Second, "linear ramp 0 → -rps")
+		steady   = flag.Duration("steady", 15*time.Second, "steady phase at -rps")
+		mixSpec  = flag.String("mix", "estimate=6,sweep=2,grid=1,byref=3", "weighted workload mix: estimate, sweep, grid, byref")
+		circuit  = flag.String("circuit", "ham7", "generator spec driven through every workload kind")
+		sweepN   = flag.Int("sweep-size", 4, "circuits per sweep/grid batch")
+		maxOut   = flag.Int("max-outstanding", 256, "outstanding-request bound; scheduled fires past it are shed (and counted)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		scrape   = flag.Duration("scrape", 2*time.Second, "/metrics scrape interval during the run")
+		agree    = flag.Float64("agree", 0.15, "max client/server p99 divergence on the steady phase (0 disables the check)")
+		agreeFl  = flag.Duration("agree-floor", 5*time.Millisecond, "absolute divergence always tolerated — client-side overhead (serialization, RTT) is additive and dwarfs sub-ms handler times")
+		sloSpec  = flag.String("slo", "", `client-side SLO clauses evaluated against harness measurements, e.g. "estimate:p99<250ms"`)
+		seed     = flag.Int64("seed", 1, "workload-mix random seed")
+		wait     = flag.Duration("wait", 10*time.Second, "wait up to this long for the server to answer /healthz before starting")
+		healthz  = flag.Bool("healthz", false, "fetch /healthz, pretty-print it (incl. slo block) and exit")
+		failFast = flag.Bool("fail-on-breach", false, "exit nonzero when a server SLO clause ends the run breached or the agreement check fails")
+	)
+	flag.Parse()
+
+	hc := &http.Client{Timeout: *timeout}
+	cli := client.New(*addr, hc)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *healthz {
+		return printHealthz(ctx, cli)
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	mixTotal := 0
+	needRef := false
+	for _, m := range mix {
+		mixTotal += m.weight
+		needRef = needRef || m.kind == "byref"
+	}
+	var clientClauses []telemetry.Clause
+	if *sloSpec != "" {
+		if clientClauses, err = telemetry.ParseSLO(*sloSpec); err != nil {
+			return err
+		}
+	}
+
+	// Wait for the server, then set up the by-ref workload: generate the
+	// circuit once, upload it, and estimate by digest from then on.
+	if err := waitForServer(ctx, cli, *wait); err != nil {
+		return err
+	}
+	ref := ""
+	if needRef {
+		c, err := leqa.GenerateFT(*circuit)
+		if err != nil {
+			return fmt.Errorf("generating %q for the by-ref workload: %w", *circuit, err)
+		}
+		var buf bytes.Buffer
+		if err := leqa.WriteQCB(&buf, c); err != nil {
+			return err
+		}
+		info, err := cli.PutCircuit(ctx, *circuit, &buf)
+		if err != nil {
+			return fmt.Errorf("uploading the by-ref circuit: %w", err)
+		}
+		ref = info.Digest
+		fmt.Fprintf(os.Stderr, "leqaload: by-ref workload uses %s (%d ops)\n", ref, info.Operations)
+	}
+
+	// Scraper: poll /metrics through the run; the last successful scrape is
+	// the server-side view the report compares against.
+	var scrapeMu sync.Mutex
+	var lastScrape telemetry.PromMetrics
+	var scrapeErrs uint64
+	scrapeOnce := func() {
+		m, err := scrapeMetrics(ctx, hc, *addr)
+		if err != nil {
+			atomic.AddUint64(&scrapeErrs, 1)
+			return
+		}
+		scrapeMu.Lock()
+		lastScrape = m
+		scrapeMu.Unlock()
+	}
+	scrapeDone := make(chan struct{})
+	scrapeStop := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		t := time.NewTicker(*scrape)
+		defer t.Stop()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				scrapeOnce()
+			}
+		}
+	}()
+
+	// The open-loop generator. Fire times integrate the rate function:
+	// during the ramp the rate grows linearly to rps, so the i-th request
+	// fires at sqrt(2·ramp·i/rps); in steady state every 1/rps.
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		wg        sync.WaitGroup
+		outs      atomic.Int64
+		scheduled uint64
+		shed      uint64
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	start := time.Now()
+	rampEnd := start.Add(*ramp)
+	end := rampEnd.Add(*steady)
+	canceled := false
+	for i := 0; ; i++ {
+		var fireAt time.Time
+		rampCount := *rps * ramp.Seconds() / 2
+		if float64(i) < rampCount {
+			dt := math.Sqrt(2 * ramp.Seconds() * float64(i) / *rps)
+			fireAt = start.Add(time.Duration(dt * float64(time.Second)))
+		} else {
+			dt := (float64(i) - rampCount) / *rps
+			fireAt = rampEnd.Add(time.Duration(dt * float64(time.Second)))
+		}
+		if fireAt.After(end) {
+			break
+		}
+		if d := time.Until(fireAt); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		scheduled++
+		if outs.Load() >= int64(*maxOut) {
+			shed++
+			continue
+		}
+		kind := pickKind(rng, mix, mixTotal)
+		outs.Add(1)
+		wg.Add(1)
+		go func(kind string) {
+			defer wg.Done()
+			defer outs.Add(-1)
+			record(issue(ctx, cli, kind, *circuit, ref, *sweepN))
+		}(kind)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Final server view: one last scrape (after the traffic fully landed)
+	// and the healthz slo block.
+	close(scrapeStop)
+	<-scrapeDone
+	scrapeOnce()
+	scrapeMu.Lock()
+	final := lastScrape
+	scrapeMu.Unlock()
+	health, herr := cli.Health(ctx)
+
+	rep := buildReport(reportInputs{
+		addr: *addr, mix: *mixSpec, rps: *rps, ramp: *ramp, steady: *steady,
+		elapsed: elapsed, rampEnd: rampEnd, scheduled: scheduled, shed: shed,
+		canceled: canceled, agree: *agree, agreeFloorMs: agreeFl.Seconds() * 1e3,
+		samples: samples, metrics: final,
+		health: health, clientClauses: clientClauses,
+	})
+	if herr != nil {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf("final healthz fetch failed: %v", herr))
+	}
+	if n := atomic.LoadUint64(&scrapeErrs); n > 0 {
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf("%d /metrics scrapes failed", n))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *failFast && (!rep.AgreementOK || !rep.AllServerClausesPass) {
+		return fmt.Errorf("SLO gate failed: agreement=%v serverClauses=%v", rep.AgreementOK, rep.AllServerClausesPass)
+	}
+	return nil
+}
+
+// waitForServer polls /healthz until the server answers (any status payload
+// counts — a degraded server is still up) or the budget runs out.
+func waitForServer(ctx context.Context, cli *client.Client, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		if _, err := cli.Health(ctx); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("server not reachable within %s: %w", budget, err)
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// issue sends one request of the given kind and reports how it went.
+func issue(ctx context.Context, cli *client.Client, kind, circuit, ref string, sweepN int) sample {
+	s := sample{kind: kind, start: time.Now()}
+	var rows int
+	var err error
+	switch kind {
+	case "estimate":
+		s.endpoint = "estimate"
+		_, err = cli.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: circuit}})
+		if err == nil {
+			rows = 1
+		}
+	case "byref":
+		s.endpoint = "estimate"
+		_, err = cli.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Ref: ref}})
+		if err == nil {
+			rows = 1
+		}
+	case "sweep":
+		s.endpoint = "sweep"
+		specs := make([]client.CircuitSpec, sweepN)
+		for i := range specs {
+			specs[i] = client.CircuitSpec{Generate: circuit}
+		}
+		err = cli.Sweep(ctx, client.SweepRequest{Circuits: specs}, func(leqa.ResultRecord) error {
+			rows++
+			return nil
+		})
+	case "grid":
+		s.endpoint = "grid"
+		specs := make([]client.CircuitSpec, sweepN)
+		for i := range specs {
+			specs[i] = client.CircuitSpec{Generate: circuit}
+		}
+		nc1, nc2 := 5, 8
+		err = cli.Grid(ctx, client.GridRequest{
+			Circuits:  specs,
+			ParamSets: []client.ParamSpec{{ChannelCapacity: &nc1}, {ChannelCapacity: &nc2}},
+		}, func(leqa.ResultRecord) error {
+			rows++
+			return nil
+		})
+	}
+	s.dur = time.Since(s.start)
+	s.rows = rows
+	s.err = err
+	var apiErr *client.APIError
+	if err != nil {
+		if ok := asAPIError(err, &apiErr); ok {
+			s.status = apiErr.StatusCode
+		}
+	}
+	return s
+}
+
+// asAPIError unwraps a client.APIError without importing errors twice.
+func asAPIError(err error, target **client.APIError) bool {
+	for err != nil {
+		if e, ok := err.(*client.APIError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// scrapeMetrics fetches and parses one /metrics exposition.
+func scrapeMetrics(ctx context.Context, hc *http.Client, addr string) (telemetry.PromMetrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %d", resp.StatusCode)
+	}
+	return telemetry.ParseProm(resp.Body)
+}
+
+type reportInputs struct {
+	addr, mix     string
+	rps           float64
+	ramp, steady  time.Duration
+	elapsed       time.Duration
+	rampEnd       time.Time
+	scheduled     uint64
+	shed          uint64
+	canceled      bool
+	agree         float64
+	agreeFloorMs  float64
+	samples       []sample
+	metrics       telemetry.PromMetrics
+	health        *client.Health
+	clientClauses []telemetry.Clause
+}
+
+// buildReport assembles the JSON report from the client-side samples, the
+// final /metrics scrape and the healthz slo block.
+func buildReport(in reportInputs) *Report {
+	rep := &Report{
+		Addr: in.addr, Mix: in.mix, TargetRPS: in.rps,
+		RampSec: in.ramp.Seconds(), SteadySec: in.steady.Seconds(),
+		ElapsedSec: in.elapsed.Seconds(), Scheduled: in.scheduled,
+		Shed: in.shed, Canceled: in.canceled,
+		Endpoints:   map[string]*EndpointReport{},
+		AgreementOK: true,
+	}
+	rep.Server.Throttled = map[string]float64{}
+
+	byEndpoint := map[string][]sample{}
+	for _, s := range in.samples {
+		rep.Completed++
+		if s.err != nil {
+			rep.Failures++
+		}
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	if in.elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / in.elapsed.Seconds()
+	}
+
+	const minAgreeSamples = 20
+	for ep, ss := range byEndpoint {
+		er := &EndpointReport{}
+		var all, steadyOnly []time.Duration
+		for _, s := range ss {
+			er.Sent++
+			er.Rows += uint64(s.rows)
+			if s.err != nil {
+				er.Errors++
+				continue
+			}
+			er.OK++
+			all = append(all, s.dur)
+			if s.start.After(in.rampEnd) {
+				steadyOnly = append(steadyOnly, s.dur)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		sort.Slice(steadyOnly, func(i, j int) bool { return steadyOnly[i] < steadyOnly[j] })
+		const ms = 1e3
+		er.ClientP50Ms = percentile(all, 0.50).Seconds() * ms
+		er.ClientP90Ms = percentile(all, 0.90).Seconds() * ms
+		er.ClientP99Ms = percentile(all, 0.99).Seconds() * ms
+		er.SteadyCount = uint64(len(steadyOnly))
+		er.SteadyP50Ms = percentile(steadyOnly, 0.50).Seconds() * ms
+		er.SteadyP99Ms = percentile(steadyOnly, 0.99).Seconds() * ms
+
+		if in.metrics != nil {
+			lbl := map[string]string{"endpoint": ep}
+			if v, ok := in.metrics.Value("leqad_request_latency_window_seconds_count", lbl); ok {
+				er.ServerWindowCount = uint64(v)
+			}
+			if v, ok := in.metrics.Value("leqad_request_latency_window_seconds", map[string]string{"endpoint": ep, "quantile": "0.5"}); ok {
+				er.ServerP50Ms = v * ms
+			}
+			if v, ok := in.metrics.Value("leqad_request_latency_window_seconds", map[string]string{"endpoint": ep, "quantile": "0.99"}); ok {
+				er.ServerP99Ms = v * ms
+			}
+		}
+		if in.agree > 0 && er.SteadyCount >= minAgreeSamples && er.ServerWindowCount >= minAgreeSamples && er.ServerP99Ms > 0 {
+			er.AgreementChecked = true
+			absDiff := math.Abs(er.SteadyP99Ms - er.ServerP99Ms)
+			er.P99Divergence = absDiff / er.ServerP99Ms
+			er.AgreementOK = er.P99Divergence <= in.agree || absDiff <= in.agreeFloorMs
+			if !er.AgreementOK {
+				rep.AgreementOK = false
+			}
+		}
+		rep.Endpoints[ep] = er
+	}
+
+	if in.metrics != nil {
+		for _, s := range in.metrics["leqad_throttled_total"] {
+			rep.Server.Throttled[s.Labels["reason"]] = s.Value
+		}
+		rep.Server.ResultMemoHit = hitRate(in.metrics, "leqad_result_memo_hits_total", "leqad_result_memo_misses_total")
+		rep.Server.AnalysisStoreHit = hitRate(in.metrics, "leqad_analysis_store_hits_total", "leqad_analysis_store_misses_total")
+		if v, ok := in.metrics.Value("leqad_window_seconds", nil); ok {
+			rep.Server.WindowSec = v
+		}
+		if v, ok := in.metrics.Value("leqad_queue_wait_window_seconds", map[string]string{"quantile": "0.5"}); ok {
+			rep.Server.QueueWaitP50Ms = v * 1e3
+		}
+	}
+
+	rep.AllServerClausesPass = true
+	if in.health != nil {
+		rep.Server.Version = in.health.Version
+		rep.Server.Status = in.health.Status
+		if in.health.SLO != nil {
+			rep.Server.Degraded = in.health.SLO.Degraded
+			for _, c := range in.health.SLO.Clauses {
+				cr := ClauseReport{
+					Clause: c.Clause, Source: "server",
+					Current: c.Current, Limit: c.Limit, HasData: c.HasData,
+					Compliant: c.Compliant, ComplianceRatio: c.ComplianceRatio,
+					Breaches: c.Breaches,
+				}
+				switch {
+				case !c.HasData:
+					cr.Verdict = "no-data"
+				case c.Compliant:
+					cr.Verdict = "pass"
+				default:
+					cr.Verdict = "breached"
+					rep.AllServerClausesPass = false
+				}
+				rep.SLO = append(rep.SLO, cr)
+			}
+		}
+	}
+
+	// Client-side clauses: evaluated against the harness's own exact
+	// percentiles and error counts, whole run.
+	for _, c := range in.clientClauses {
+		cr := ClauseReport{Clause: c.String(), Source: "client", Limit: c.Limit}
+		scopes := []string{c.Scope}
+		if c.Scope == "" {
+			scopes = []string{"estimate", "sweep", "grid"}
+		}
+		var durs []time.Duration
+		var sent, failed uint64
+		for _, ep := range scopes {
+			for _, s := range byEndpoint[ep] {
+				sent++
+				if s.err != nil {
+					failed++
+					continue
+				}
+				durs = append(durs, s.dur)
+			}
+		}
+		if c.Metric == "error_rate" {
+			cr.HasData = sent > 0
+			if cr.HasData {
+				cr.Current = float64(failed) / float64(sent)
+			}
+		} else {
+			cr.HasData = len(durs) > 0
+			if cr.HasData {
+				sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+				cr.Current = percentile(durs, c.Quantile).Seconds()
+			}
+		}
+		cr.Compliant = !cr.HasData || cr.Current <= c.Limit
+		switch {
+		case !cr.HasData:
+			cr.Verdict = "no-data"
+		case cr.Compliant:
+			cr.Verdict = "pass"
+		default:
+			cr.Verdict = "breached"
+		}
+		rep.SLO = append(rep.SLO, cr)
+	}
+	return rep
+}
+
+// hitRate computes hits/(hits+misses) from two counter families.
+func hitRate(m telemetry.PromMetrics, hits, misses string) float64 {
+	h, hm := m.Sum(hits), m.Sum(misses)
+	if h+hm == 0 {
+		return 0
+	}
+	return h / (h + hm)
+}
+
+// printHealthz fetches /healthz and pretty-prints it, leading with the
+// status and slo block so a breached objective is the first thing visible.
+func printHealthz(ctx context.Context, cli *client.Client) error {
+	h, err := cli.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status:   %s (version %s, up %.0fs, %d workers)\n", h.Status, h.Version, h.UptimeSec, h.Workers)
+	fmt.Printf("traffic:  %d requests, %d rows streamed, %d batches canceled\n",
+		h.Requests, h.RowsStreamed, h.BatchesCanceled)
+	if s := h.Saturation; s != nil {
+		fmt.Printf("capacity: %d/%d in flight, %d queued (max %d), queue-wait p50 %.1fms over %gs window\n",
+			s.InFlight, s.MaxConcurrent, s.QueueDepth, s.MaxQueue, s.QueueWait.P50Ms, s.WindowSec)
+		for _, ep := range []string{"estimate", "sweep", "grid"} {
+			e, ok := s.Endpoints[ep]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-9s %5d reqs %4d errs  p50 %8.2fms  p99 %8.2fms\n",
+				ep, e.Requests, e.Errors, e.Latency.P50Ms, e.Latency.P99Ms)
+		}
+		if len(s.Throttled) > 0 {
+			var parts []string
+			for _, reason := range []string{"concurrency", "queue_timeout", "body_cap", "gate_cap"} {
+				if n := s.Throttled[reason]; n > 0 {
+					parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+				}
+			}
+			if len(parts) > 0 {
+				fmt.Printf("  throttled: %s\n", strings.Join(parts, " "))
+			}
+		}
+	}
+	if h.SLO == nil {
+		fmt.Println("slo:      none configured")
+		return nil
+	}
+	fmt.Printf("slo:      %d clauses, %d evaluations every %gs", len(h.SLO.Clauses), h.SLO.Ticks, h.SLO.IntervalSec)
+	if h.SLO.Degraded {
+		fmt.Print("  ** DEGRADED **")
+	}
+	fmt.Println()
+	for _, c := range h.SLO.Clauses {
+		state := "ok"
+		switch {
+		case !c.HasData:
+			state = "no data"
+		case !c.Compliant:
+			state = fmt.Sprintf("BREACH x%d", c.Consecutive)
+		}
+		fmt.Printf("  %-28s current %10.4g  limit %10.4g  compliance %5.1f%%  breaches %d  [%s]\n",
+			c.Clause, c.Current, c.Limit, c.ComplianceRatio*100, c.Breaches, state)
+	}
+	return nil
+}

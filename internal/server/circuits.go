@@ -26,18 +26,18 @@ func (s *Server) handleCircuitPut(w http.ResponseWriter, r *http.Request) {
 		MaxSpoolBytes: s.cfg.MaxSpoolBytes,
 	})
 	if err != nil {
-		writeError(w, classifyStreamErr(err))
+		s.writeError(w, classifyStreamErr(err))
 		return
 	}
 	defer sc.Close()
 	capped := &gateCapStream{src: sc, max: s.cfg.MaxGates}
 	a, digest, err := s.store.GetOrAnalyze(capped)
 	if err != nil {
-		writeError(w, classifyStreamErr(err))
+		s.writeError(w, classifyStreamErr(err))
 		return
 	}
 	if sc.BytesRead() == 0 {
-		writeError(w, badRequest("empty netlist body"))
+		s.writeError(w, badRequest("empty netlist body"))
 		return
 	}
 	if sp := sc.SpooledBytes(); sp > 0 {
@@ -55,19 +55,19 @@ func (s *Server) handleCircuitGet(w http.ResponseWriter, r *http.Request) {
 	ref := r.PathValue("digest")
 	digest, err := leqa.ParseDigestRef(ref)
 	if err != nil {
-		writeError(w, badRequest("%v", err))
+		s.writeError(w, badRequest("%v", err))
 		return
 	}
 	a, err := s.store.Get(digest)
 	if errors.Is(err, leqa.ErrAnalysisNotFound) {
-		writeError(w, &statusError{
+		s.writeError(w, &statusError{
 			code: http.StatusNotFound,
 			msg:  fmt.Sprintf("circuit %s is not in the analysis store", ref),
 		})
 		return
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, circuitInfo(digest, a))

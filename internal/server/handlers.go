@@ -25,17 +25,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req client.EstimateRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := s.paramsFromSpec(req.Params)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	runner, err := s.runnerFor(req.Options)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -46,14 +46,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// netlist bytes, no parsing, no graph build.
 		src, serr := s.resolveSource(ctx, req.CircuitSpec, wantDecompose(req.Options))
 		if serr != nil {
-			writeError(w, serr)
+			s.writeError(w, serr)
 			return
 		}
 		cells, err = runner.SweepGridSources(ctx, []leqa.Source{src}, []leqa.Params{p})
 	} else {
 		c, cerr := s.resolveCircuit(ctx, req.CircuitSpec, wantDecompose(req.Options))
 		if cerr != nil {
-			writeError(w, cerr)
+			s.writeError(w, cerr)
 			return
 		}
 		// One 1×1 grid cell: the same engine, memo and record schema as the
@@ -61,11 +61,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		cells, err = runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
 	}
 	if len(cells) == 0 {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if cells[0].Err != nil {
-		writeError(w, cells[0].Err)
+		s.writeError(w, cells[0].Err)
 		return
 	}
 	s.endpoints["estimate"].rows.Add(1)
@@ -86,17 +86,17 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ps, err := paramSpecFromQuery(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	decompose, err := decomposeFromQuery(q)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := s.paramsFromSpec(ps)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	name := q.Get("name")
@@ -110,7 +110,7 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 		MaxSpoolBytes: s.cfg.MaxSpoolBytes,
 	})
 	if err != nil {
-		writeError(w, classifyStreamErr(err))
+		s.writeError(w, classifyStreamErr(err))
 		return
 	}
 	defer sc.Close()
@@ -122,12 +122,12 @@ func (s *Server) handleEstimateQC(w http.ResponseWriter, r *http.Request) {
 			res, err = s.tryDecomposeFallback(ctx, sc, name, p)
 		}
 		if err != nil {
-			writeError(w, classifyStreamErr(err))
+			s.writeError(w, classifyStreamErr(err))
 			return
 		}
 	}
 	if sc.BytesRead() == 0 {
-		writeError(w, badRequest("empty .qc body"))
+		s.writeError(w, badRequest("empty .qc body"))
 		return
 	}
 	if sp := sc.SpooledBytes(); sp > 0 {
@@ -153,8 +153,12 @@ func (s *Server) tryDecomposeFallback(ctx context.Context, sc ingest.Stream, nam
 		return nil, err
 	}
 	if sc.BytesRead() > s.cfg.MaxBodyBytes {
-		return nil, fmt.Errorf("circuit %q has non-FT gates and its %d-byte netlist exceeds the %d-byte in-memory decomposition cap; upload an FT netlist",
-			name, sc.BytesRead(), s.cfg.MaxBodyBytes)
+		return nil, &statusError{
+			code: http.StatusUnprocessableEntity,
+			msg: fmt.Sprintf("circuit %q has non-FT gates and its %d-byte netlist exceeds the %d-byte in-memory decomposition cap; upload an FT netlist",
+				name, sc.BytesRead(), s.cfg.MaxBodyBytes),
+			reason: throttleBodyCap,
+		}
 	}
 	c, err := sc.Materialize()
 	if err != nil {
@@ -164,7 +168,7 @@ func (s *Server) tryDecomposeFallback(ctx context.Context, sc ingest.Stream, nam
 		return nil, err
 	}
 	if c.NumGates() > s.cfg.MaxGates {
-		return nil, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+		return nil, capExceeded("circuit %q has %d operations, over the server cap of %d",
 			c.Name, c.NumGates(), s.cfg.MaxGates)
 	}
 	cells, err := s.runner.SweepGrid(ctx, []*leqa.Circuit{c}, []leqa.Params{p})
@@ -191,7 +195,7 @@ func (g *gateCapStream) Scan() bool {
 		return false
 	}
 	if g.n++; g.n > g.max {
-		g.err = fmt.Errorf("circuit %q exceeds the server cap of %d operations", g.src.Name(), g.max)
+		g.err = capExceeded("circuit %q exceeds the server cap of %d operations", g.src.Name(), g.max)
 		return false
 	}
 	return true
@@ -228,12 +232,12 @@ func (g *gateCapStream) PrevalidatedGates() bool {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req client.SweepRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	p, err := s.paramsFromSpec(req.Params)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.streamBatch(w, r, "sweep", req.Circuits, []leqa.Params{p}, req.Options)
@@ -243,12 +247,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	var req client.GridRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	sets, err := s.paramSetsFromSpecs(req.ParamSets)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.streamBatch(w, r, "grid", req.Circuits, sets, req.Options)
@@ -260,23 +264,27 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 // batch.
 func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, endpoint string, specs []client.CircuitSpec, paramSets []leqa.Params, opts *client.OptionsSpec) {
 	if len(specs) == 0 {
-		writeError(w, badRequest("request needs at least one circuit"))
+		s.writeError(w, badRequest("request needs at least one circuit"))
 		return
 	}
 	if cells := len(specs) * len(paramSets); cells > s.cfg.MaxCells {
-		writeError(w, badRequest("batch of %d cells exceeds the server cap of %d", cells, s.cfg.MaxCells))
+		s.writeError(w, &statusError{
+			code:   http.StatusBadRequest,
+			msg:    fmt.Sprintf("batch of %d cells exceeds the server cap of %d", cells, s.cfg.MaxCells),
+			reason: throttleGateCap,
+		})
 		return
 	}
 	runner, err := s.runnerFor(opts)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	// Parameter sets must be valid before the 200 streaming header goes
 	// out; the engine would reject them only after headers are sent.
 	for j := range paramSets {
 		if err := paramSets[j].Validate(); err != nil {
-			writeError(w, badRequest("parameter set %d: %v", j, err))
+			s.writeError(w, badRequest("parameter set %d: %v", j, err))
 			return
 		}
 	}

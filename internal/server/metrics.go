@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/leqa"
 )
 
@@ -16,6 +17,11 @@ import (
 // zone-model-cache counters /healthz also reports. /healthz keeps its JSON
 // schema untouched; /metrics is the scrape surface.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.evaluator != nil {
+		// Scrapes are an evaluation opportunity: an idle server's objectives
+		// keep being scored at scrape cadence even without RunSLO.
+		s.evaluator.MaybeTick()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
@@ -43,6 +49,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range metricsPhases {
 		writeHistogram(bw, "leqad_phase_duration_seconds", "phase", name, s.phases[name])
 	}
+
+	s.writeWindowMetrics(bw)
 
 	fmt.Fprintf(bw, "# HELP leqad_batches_canceled_total Batches ended early by cancellation or disconnect.\n")
 	fmt.Fprintf(bw, "# TYPE leqad_batches_canceled_total counter\n")
@@ -141,6 +149,127 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // estimationEndpoints returns the endpoints that carry rows and latency.
 func estimationEndpoints() []string { return metricsEndpoints[:3] }
+
+// windowQuantileLabels fixes the quantile label values of the windowed
+// latency series.
+var windowQuantileLabels = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999},
+}
+
+// writeWindowSummary renders one latency window as a Prometheus summary:
+// quantile-labeled series plus _sum and _count. Unlike a client-library
+// summary the figures cover the sliding window, not the process lifetime —
+// the HELP text says so.
+func writeWindowSummary(bw *bufio.Writer, metric, label, value string, h telemetry.Hist) {
+	for _, ql := range windowQuantileLabels {
+		v, _ := h.Quantile(ql.q) // 0 when empty; the _count series disambiguates
+		fmt.Fprintf(bw, "%s{%s=%q,quantile=%q} %g\n", metric, label, value, ql.label, v.Seconds())
+	}
+	fmt.Fprintf(bw, "%s_sum{%s=%q} %g\n", metric, label, value, h.Sum().Seconds())
+	fmt.Fprintf(bw, "%s_count{%s=%q} %d\n", metric, label, value, h.Count())
+}
+
+// writeWindowMetrics renders the sliding-window and saturation families:
+// throttle counters, admission gauges, the queue-wait sketch, per-endpoint
+// windowed latency/completions/errors, per-phase windows, the SLO series
+// (when configured) and the bounded per-client accounting.
+func (s *Server) writeWindowMetrics(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "# HELP leqad_throttled_total Requests rejected by capacity controls, by reason (concurrency: semaphore full; queue_timeout: no slot within the queued wait; body_cap: request body or spool over its byte cap; gate_cap: circuit or batch over the gate/cell caps).\n")
+	fmt.Fprintf(bw, "# TYPE leqad_throttled_total counter\n")
+	for _, reason := range throttleReasons {
+		fmt.Fprintf(bw, "leqad_throttled_total{reason=%q} %d\n", reason, s.throttled[reason].Load())
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_inflight_requests Estimation requests holding a concurrency slot right now.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_inflight_requests gauge\n")
+	fmt.Fprintf(bw, "leqad_inflight_requests %d\n", s.inflight.Load())
+	fmt.Fprintf(bw, "# HELP leqad_queue_depth Estimation requests waiting for a slot right now.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_queue_depth gauge\n")
+	fmt.Fprintf(bw, "leqad_queue_depth %d\n", s.queued.Load())
+
+	fmt.Fprintf(bw, "# HELP leqad_window_seconds Span of the sliding window behind every *_window_* series.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_window_seconds gauge\n")
+	fmt.Fprintf(bw, "leqad_window_seconds %g\n", s.winLen.Seconds())
+
+	fmt.Fprintf(bw, "# HELP leqad_queue_wait_window_seconds Windowed slot-wait quantiles (0 = admitted immediately); the p50 prices 429 Retry-After.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_queue_wait_window_seconds summary\n")
+	qw := s.queueWait.Snapshot()
+	for _, ql := range windowQuantileLabels {
+		v, _ := qw.Quantile(ql.q)
+		fmt.Fprintf(bw, "leqad_queue_wait_window_seconds{quantile=%q} %g\n", ql.label, v.Seconds())
+	}
+	fmt.Fprintf(bw, "leqad_queue_wait_window_seconds_sum %g\n", qw.Sum().Seconds())
+	fmt.Fprintf(bw, "leqad_queue_wait_window_seconds_count %d\n", qw.Count())
+
+	fmt.Fprintf(bw, "# HELP leqad_request_latency_window_seconds Windowed latency quantiles of successfully answered requests, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_request_latency_window_seconds summary\n")
+	for _, name := range estimationEndpoints() {
+		writeWindowSummary(bw, "leqad_request_latency_window_seconds", "endpoint", name, s.winLat[name].Snapshot())
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_window_requests Requests completed inside the sliding window, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_window_requests gauge\n")
+	for _, name := range estimationEndpoints() {
+		fmt.Fprintf(bw, "leqad_window_requests{endpoint=%q} %d\n", name, s.winReq[name].Total())
+	}
+	fmt.Fprintf(bw, "# HELP leqad_window_errors Requests failed (5xx or 429) inside the sliding window, by endpoint.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_window_errors gauge\n")
+	for _, name := range estimationEndpoints() {
+		fmt.Fprintf(bw, "leqad_window_errors{endpoint=%q} %d\n", name, s.winErr[name].Total())
+	}
+
+	fmt.Fprintf(bw, "# HELP leqad_phase_latency_window_seconds Windowed latency quantiles of estimation pipeline phases.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_phase_latency_window_seconds summary\n")
+	for _, name := range metricsPhases {
+		writeWindowSummary(bw, "leqad_phase_latency_window_seconds", "phase", name, s.phaseWin[name].Snapshot())
+	}
+
+	if s.evaluator != nil {
+		st := s.evaluator.Status()
+		fmt.Fprintf(bw, "# HELP leqad_slo_compliance_ratio Fraction of recent SLO evaluations compliant, by clause.\n")
+		fmt.Fprintf(bw, "# TYPE leqad_slo_compliance_ratio gauge\n")
+		for _, c := range st.Clauses {
+			fmt.Fprintf(bw, "leqad_slo_compliance_ratio{clause=%q} %g\n", c.Clause, c.ComplianceRatio)
+		}
+		fmt.Fprintf(bw, "# HELP leqad_slo_breaches_total SLO evaluations in violation since startup, by clause.\n")
+		fmt.Fprintf(bw, "# TYPE leqad_slo_breaches_total counter\n")
+		for _, c := range st.Clauses {
+			fmt.Fprintf(bw, "leqad_slo_breaches_total{clause=%q} %d\n", c.Clause, c.Breaches)
+		}
+		fmt.Fprintf(bw, "# HELP leqad_slo_current SLO clause's last evaluated value (seconds for latency clauses, ratio for error_rate).\n")
+		fmt.Fprintf(bw, "# TYPE leqad_slo_current gauge\n")
+		for _, c := range st.Clauses {
+			fmt.Fprintf(bw, "leqad_slo_current{clause=%q} %g\n", c.Clause, c.Current)
+		}
+		degraded := 0
+		if st.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(bw, "# HELP leqad_slo_degraded 1 while any clause is in sustained breach (healthz reports \"degraded\").\n")
+		fmt.Fprintf(bw, "# TYPE leqad_slo_degraded gauge\n")
+		fmt.Fprintf(bw, "leqad_slo_degraded %d\n", degraded)
+	}
+
+	clients := s.clients.Snapshot()
+	fmt.Fprintf(bw, "# HELP leqad_client_requests_total Completed API requests by client (auth-token digest or peer host; bounded cardinality, evicted clients fold into \"other\").\n")
+	fmt.Fprintf(bw, "# TYPE leqad_client_requests_total counter\n")
+	for _, c := range clients {
+		fmt.Fprintf(bw, "leqad_client_requests_total{client=%q} %d\n", c.Key, c.Requests)
+	}
+	fmt.Fprintf(bw, "# HELP leqad_client_rows_total Result rows streamed by client.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_client_rows_total counter\n")
+	for _, c := range clients {
+		fmt.Fprintf(bw, "leqad_client_rows_total{client=%q} %d\n", c.Key, c.Rows)
+	}
+	fmt.Fprintf(bw, "# HELP leqad_client_window_requests Requests completed inside the sliding window, by client.\n")
+	fmt.Fprintf(bw, "# TYPE leqad_client_window_requests gauge\n")
+	for _, c := range clients {
+		fmt.Fprintf(bw, "leqad_client_window_requests{client=%q} %d\n", c.Key, c.WindowRequests)
+	}
+}
 
 // writeHistogram renders one latencyRecorder as a cumulative Prometheus
 // histogram under a single label (endpoint=... or phase=...). The recorder's

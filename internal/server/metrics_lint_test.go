@@ -141,15 +141,23 @@ func splitLabels(s string) []string {
 }
 
 // baseFamily maps a sample's series name to its declared metric family:
-// histogram component suffixes resolve to the histogram name.
+// histogram and summary component suffixes resolve to the declared name.
 func baseFamily(meta map[string]*promMeta, family string) string {
 	if meta[family] != nil {
 		return family
 	}
 	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 		base, ok := strings.CutSuffix(family, suffix)
-		if ok && meta[base] != nil && meta[base].typ == "histogram" {
+		if !ok || meta[base] == nil {
+			continue
+		}
+		switch meta[base].typ {
+		case "histogram":
 			return base
+		case "summary":
+			if suffix != "_bucket" { // summaries carry _sum/_count, never buckets
+				return base
+			}
 		}
 	}
 	return ""
@@ -176,7 +184,9 @@ func labelKey(labels map[string]string) string {
 // every series of a family, histogram buckets are cumulative and monotone,
 // every histogram ends at le="+Inf", and _count equals the +Inf bucket.
 func TestMetricsExpositionLint(t *testing.T) {
-	ts, c := newTestServer(t, server.Config{})
+	// An SLO so the slo families appear; a generous objective so the lint
+	// server is never degraded by machine speed.
+	ts, c := newTestServer(t, server.Config{SLO: "estimate:p99<10m,error_rate<50%"})
 	// Traffic first so the interesting series are non-zero.
 	if _, err := c.Estimate(context.Background(), client.EstimateRequest{
 		CircuitSpec: client.CircuitSpec{Generate: "ham7"},
@@ -230,12 +240,19 @@ func TestMetricsExpositionLint(t *testing.T) {
 			firstSample[fam] = s.line
 		}
 		switch m.typ {
-		case "counter", "gauge", "histogram":
+		case "counter", "gauge", "histogram", "summary":
 		default:
 			t.Errorf("family %s has unknown TYPE %q", fam, m.typ)
 		}
 		if m.typ == "counter" && s.value < 0 {
 			t.Errorf("line %d: counter %s is negative: %g", s.line, s.family, s.value)
+		}
+		// Summary quantile labels must be parseable ratios in [0, 1].
+		if m.typ == "summary" && s.family == fam {
+			q, err := strconv.ParseFloat(s.labels["quantile"], 64)
+			if err != nil || q < 0 || q > 1 {
+				t.Errorf("line %d: summary %s has bad quantile label %q", s.line, s.family, s.labels["quantile"])
+			}
 		}
 	}
 
@@ -309,10 +326,21 @@ func TestMetricsExpositionLint(t *testing.T) {
 		}
 	}
 
-	// The series this PR added are present.
+	// The families the observability PRs added are present.
 	for _, want := range []string{
 		"leqad_panics_total", "leqad_goroutines", "leqad_heap_inuse_bytes",
 		"leqad_heap_sys_bytes", "leqad_gc_pause_seconds_total", "leqad_gomaxprocs",
+		// Saturation + sliding-window telemetry.
+		"leqad_throttled_total", "leqad_inflight_requests", "leqad_queue_depth",
+		"leqad_window_seconds", "leqad_queue_wait_window_seconds",
+		"leqad_request_latency_window_seconds", "leqad_window_requests",
+		"leqad_window_errors", "leqad_phase_latency_window_seconds",
+		// SLO series (the lint server is configured with objectives).
+		"leqad_slo_compliance_ratio", "leqad_slo_breaches_total",
+		"leqad_slo_current", "leqad_slo_degraded",
+		// Bounded per-client accounting.
+		"leqad_client_requests_total", "leqad_client_rows_total",
+		"leqad_client_window_requests",
 	} {
 		if meta[want] == nil {
 			t.Errorf("/metrics missing %s", want)
@@ -327,5 +355,27 @@ func TestMetricsExpositionLint(t *testing.T) {
 	}
 	if !found {
 		t.Error("estimate latency histogram did not record the request")
+	}
+	// The windowed estimate series saw the same traffic, and every SLO
+	// clause in the config is exposed with a compliance ratio.
+	winCount := 0.0
+	for _, s := range samples {
+		if s.family == "leqad_request_latency_window_seconds_count" && s.labels["endpoint"] == "estimate" {
+			winCount = s.value
+		}
+	}
+	if winCount < 1 {
+		t.Error("windowed estimate latency did not record the request")
+	}
+	clauses := map[string]bool{}
+	for _, s := range samples {
+		if s.family == "leqad_slo_compliance_ratio" {
+			clauses[s.labels["clause"]] = true
+		}
+	}
+	for _, want := range []string{"estimate:p99<10m0s", "error_rate<50%"} {
+		if !clauses[want] {
+			t.Errorf("/metrics missing slo clause %q (have %v)", want, clauses)
+		}
 	}
 }

@@ -77,6 +77,7 @@ func (s *Server) finishRequest(w http.ResponseWriter, r *http.Request, ow *obsWr
 		}
 	}
 	s.ring.Add(snap)
+	s.recordWindows(r, ow.status, snap.Rows, ow.bytes, time.Duration(snap.DurMs*float64(time.Millisecond)))
 
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("id", tr.ID()),
@@ -116,6 +117,7 @@ type obsWriter struct {
 	tr     *trace.Trace
 	status int
 	wrote  bool
+	bytes  int64
 }
 
 func (o *obsWriter) WriteHeader(code int) {
@@ -136,7 +138,9 @@ func (o *obsWriter) Write(b []byte) (int, error) {
 		o.WriteHeader(http.StatusOK)
 	}
 	o.wrote = true
-	return o.ResponseWriter.Write(b)
+	n, err := o.ResponseWriter.Write(b)
+	o.bytes += int64(n)
+	return n, err
 }
 
 // Flush keeps the streaming row encoders seeing an http.Flusher.
@@ -184,6 +188,7 @@ func registerPprof(mux *http.ServeMux) {
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/clients", s.handleDebugClients)
 	registerPprof(mux)
 	return mux
 }

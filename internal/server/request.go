@@ -32,16 +32,31 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// statusError carries the HTTP status a request-shaping failure maps to.
+// statusError carries the HTTP status a request-shaping failure maps to,
+// plus an optional throttle reason tagging capacity rejections for
+// leqad_throttled_total (gate/cell caps; 413s are classified by status).
 type statusError struct {
-	code int
-	msg  string
+	code   int
+	msg    string
+	reason string
 }
 
 func (e *statusError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
 	return &statusError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// capExceeded builds a gate/cell-cap rejection: a well-formed request whose
+// workload is over a configured resource cap — 422 like other semantic
+// rejections, but tagged so the throttle counters can distinguish capacity
+// pushback from plain bad input.
+func capExceeded(format string, args ...any) error {
+	return &statusError{
+		code:   http.StatusUnprocessableEntity,
+		msg:    fmt.Sprintf(format, args...),
+		reason: throttleGateCap,
+	}
 }
 
 // classifyBodyErr maps body-read failures to statuses: over-cap bodies are
@@ -54,10 +69,18 @@ func classifyBodyErr(err error) error {
 	return badRequest("decoding request: %v", err)
 }
 
-// writeError surfaces a request failure with its mapped status.
-func writeError(w http.ResponseWriter, err error) {
+// writeError surfaces a request failure with its mapped status, counting
+// capacity rejections (413 body/spool caps, tagged gate/cell caps) into the
+// throttle series on the way out.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var se *statusError
 	if errors.As(err, &se) {
+		switch {
+		case se.code == http.StatusRequestEntityTooLarge:
+			s.throttle(throttleBodyCap)
+		case se.reason != "":
+			s.throttle(se.reason)
+		}
 		writeJSONError(w, se.code, se.msg)
 		return
 	}
@@ -168,7 +191,7 @@ func (s *Server) resolveCircuit(ctx context.Context, spec client.CircuitSpec, de
 		// synthesizing anything, so an absurd parameter (shor-2000000)
 		// cannot balloon memory on its way to the post-generation cap.
 		if bound, ok := benchgen.PredictFTOps(spec.Generate); ok && bound > s.cfg.MaxGates {
-			return nil, fmt.Errorf("generator %q may produce up to %d operations, over the server cap of %d",
+			return nil, capExceeded("generator %q may produce up to %d operations, over the server cap of %d",
 				spec.Generate, bound, s.cfg.MaxGates)
 		}
 		c, err = leqa.GenerateFT(spec.Generate)
@@ -196,7 +219,7 @@ func (s *Server) resolveCircuit(ctx context.Context, spec client.CircuitSpec, de
 		}
 	}
 	if c.NumGates() > s.cfg.MaxGates {
-		return nil, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+		return nil, capExceeded("circuit %q has %d operations, over the server cap of %d",
 			c.Name, c.NumGates(), s.cfg.MaxGates)
 	}
 	return c, nil
@@ -232,7 +255,7 @@ func (s *Server) resolveSource(ctx context.Context, spec client.CircuitSpec, dec
 		return leqa.Source{}, err
 	}
 	if a.Operations > s.cfg.MaxGates {
-		return leqa.Source{}, fmt.Errorf("circuit %q has %d operations, over the server cap of %d",
+		return leqa.Source{}, capExceeded("circuit %q has %d operations, over the server cap of %d",
 			a.Name, a.Operations, s.cfg.MaxGates)
 	}
 	name := spec.Name

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/leqa"
 	"repro/leqa/client"
 	"repro/leqa/trace"
@@ -81,6 +82,35 @@ type Config struct {
 	// MaxConcurrent caps simultaneous estimation requests; excess
 	// requests get 429 rather than queueing without bound.
 	MaxConcurrent int
+	// MaxQueue admits up to this many excess requests to a bounded wait for
+	// a slot (at most QueueTimeout each) before 429. 0 — the default —
+	// keeps the historical immediate-429 behavior.
+	MaxQueue int
+	// QueueTimeout bounds one queued request's wait for a slot; ≤ 0
+	// selects 5s. Only meaningful with MaxQueue > 0.
+	QueueTimeout time.Duration
+	// Window spans the sliding-window telemetry (windowed percentiles,
+	// error rates, queue-wait estimate, per-client counts); ≤ 0 selects 60s.
+	Window time.Duration
+	// SLO is a comma-separated objective list, e.g.
+	// "estimate:p99<250ms,error_rate<1%" — see telemetry.ParseSLO. Empty
+	// disables the evaluator (no slo block on /healthz, no slo series on
+	// /metrics). Clause scopes must name an estimation endpoint (estimate,
+	// sweep, grid) or be empty (merged estimation traffic).
+	SLO string
+	// SLOInterval paces SLO evaluation; ≤ 0 selects 5s.
+	SLOInterval time.Duration
+	// DegradeAfter is the consecutive breaching evaluations before /healthz
+	// reports "degraded"; ≤ 0 selects 3.
+	DegradeAfter int
+	// MaxClients bounds the per-client accounting cardinality (the
+	// leqad_client_* label budget); ≤ 0 selects 64. Excess clients fold
+	// into the "other" row.
+	MaxClients int
+	// Clock injects time into the sliding-window telemetry — a test seam;
+	// nil selects time.Now. Request timing and queue timeouts keep using
+	// the real clock.
+	Clock func() time.Time
 	// StoreDir, when non-empty, enables the analysis store's disk tier:
 	// analyses of uploaded circuits persist there as content-addressed
 	// .qca images and survive restarts. The memory tier is always on.
@@ -156,6 +186,23 @@ type Server struct {
 	// Per-phase latency (ingest/analyze/estimate), fed by the process-wide
 	// leqa phase observer the newest Server registers; see New.
 	phases map[string]*latencyRecorder
+
+	// Sliding-window telemetry (saturation.go): per-endpoint latency
+	// sketches and completion/error counters, the queue-wait window pricing
+	// Retry-After, per-phase windows fed by the phase-observer tee,
+	// admission gauges, throttle counters by reason, bounded per-client
+	// accounting, and the optional SLO evaluator.
+	winLen    time.Duration
+	winLat    map[string]*telemetry.Window
+	winReq    map[string]*telemetry.Counter
+	winErr    map[string]*telemetry.Counter
+	phaseWin  map[string]*telemetry.Window
+	queueWait *telemetry.Window
+	queued    atomic.Int64
+	inflight  atomic.Int64
+	throttled map[string]*atomic.Uint64
+	clients   *telemetry.Clients
+	evaluator *telemetry.Evaluator // nil without Config.SLO
 }
 
 // metricsEndpoints fixes the exposition order of the per-endpoint series.
@@ -258,6 +305,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSpoolBytes <= 0 {
 		cfg.MaxSpoolBytes = DefaultMaxSpoolBytes
 	}
+	if cfg.MaxQueue > 0 && cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 5 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
 	if cfg.Version == "" {
 		cfg.Version = "dev"
 	}
@@ -298,15 +351,65 @@ func New(cfg Config) (*Server, error) {
 	for _, name := range metricsPhases {
 		s.phases[name] = &latencyRecorder{}
 	}
+
+	// Sliding-window telemetry: one window/counter pair per estimation
+	// endpoint, per-phase windows, the queue-wait sketch, throttle counters
+	// and bounded per-client accounting.
+	wopt := telemetry.WindowOptions{Length: cfg.Window, Clock: cfg.Clock}
+	s.winLen = telemetry.NewWindow(wopt).Length()
+	s.winLat = make(map[string]*telemetry.Window, len(metricsEndpoints))
+	s.winReq = make(map[string]*telemetry.Counter, len(metricsEndpoints))
+	s.winErr = make(map[string]*telemetry.Counter, len(metricsEndpoints))
+	for _, name := range metricsEndpoints {
+		s.winLat[name] = telemetry.NewWindow(wopt)
+		s.winReq[name] = telemetry.NewCounter(wopt)
+		s.winErr[name] = telemetry.NewCounter(wopt)
+	}
+	s.phaseWin = make(map[string]*telemetry.Window, len(metricsPhases))
+	for _, name := range metricsPhases {
+		s.phaseWin[name] = telemetry.NewWindow(wopt)
+	}
+	s.queueWait = telemetry.NewWindow(wopt)
+	s.throttled = make(map[string]*atomic.Uint64, len(throttleReasons))
+	for _, reason := range throttleReasons {
+		s.throttled[reason] = &atomic.Uint64{}
+	}
+	s.clients = telemetry.NewClients(telemetry.ClientsOptions{Max: cfg.MaxClients, Window: wopt})
+	if cfg.SLO != "" {
+		clauses, err := telemetry.ParseSLO(cfg.SLO)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		for _, c := range clauses {
+			if c.Scope != "" && s.winLat[c.Scope] == nil {
+				return nil, fmt.Errorf("server: slo clause %q: unknown scope %q (want one of %v, or none)",
+					c.String(), c.Scope, estimationEndpoints())
+			}
+		}
+		s.evaluator = telemetry.NewEvaluator(clauses, s.sloSource, telemetry.EvaluatorOptions{
+			Interval:     cfg.SLOInterval,
+			DegradeAfter: cfg.DegradeAfter,
+			Clock:        telemetry.Clock(cfg.Clock),
+		})
+	}
+
 	// The phase observer is process-wide (the leqa pipeline has no handle to
 	// carry per-server state through an arena checkout); a leqad process runs
 	// one Server, and when several coexist — tests — the newest one's
-	// recorders win.
-	leqa.SetPhaseObserver(func(phase string, d time.Duration) {
-		if l := s.phases[phase]; l != nil {
-			l.observe(d)
-		}
-	})
+	// recorders win. The tee feeds every phase report to both the cumulative
+	// histograms and the sliding windows.
+	leqa.SetPhaseObserver(leqa.TeePhaseObservers(
+		func(phase string, d time.Duration) {
+			if l := s.phases[phase]; l != nil {
+				l.observe(d)
+			}
+		},
+		func(phase string, d time.Duration) {
+			if wnd := s.phaseWin[phase]; wnd != nil {
+				wnd.Observe(d)
+			}
+		},
+	))
 	s.logger = cfg.Logger
 	if s.logger == nil {
 		if cfg.Log != nil {
@@ -327,6 +430,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/clients", s.handleDebugClients)
 	if cfg.EnableDebug {
 		registerPprof(mux)
 	}
@@ -395,7 +499,9 @@ func (sc *statusCapture) Flush() {
 }
 
 // withSlot gates a handler behind the concurrency semaphore: a full server
-// answers 429 immediately instead of queueing unbounded work. Admitted
+// answers 429 (with a Retry-After priced from the windowed queue-wait
+// estimate) instead of queueing unbounded work — admit() optionally holds
+// up to MaxQueue excess requests in a bounded, timed wait first. Admitted
 // requests that start a successful reply are timed into the latency
 // recorder — from slot acquisition to the last byte written, so streamed
 // batches count their full duration. Requests rejected before estimation
@@ -405,27 +511,25 @@ func (s *Server) withSlot(endpoint string, h http.HandlerFunc) http.HandlerFunc 
 	em := s.endpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		em.requests.Add(1)
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-			observeQueue(r)
-			sc := &statusCapture{ResponseWriter: w}
-			t0 := time.Now()
-			// Deferred so aborted NDJSON streams — enc.fail panics with
-			// http.ErrAbortHandler to cut the connection — are still
-			// timed like their SSE equivalents.
-			defer func() {
-				if sc.status >= http.StatusOK && sc.status < http.StatusBadRequest {
-					d := time.Since(t0)
-					s.latency.observe(d)
-					em.latency.observe(d)
-				}
-			}()
-			h(sc, r)
-		default:
-			w.Header().Set("Retry-After", "1")
-			writeJSONError(w, http.StatusTooManyRequests, "server at capacity; retry shortly")
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
 		}
+		defer release()
+		observeQueue(r)
+		sc := &statusCapture{ResponseWriter: w}
+		t0 := time.Now()
+		// Deferred so aborted NDJSON streams — enc.fail panics with
+		// http.ErrAbortHandler to cut the connection — are still
+		// timed like their SSE equivalents.
+		defer func() {
+			if sc.status >= http.StatusOK && sc.status < http.StatusBadRequest {
+				d := time.Since(t0)
+				s.latency.observe(d)
+				em.latency.observe(d)
+			}
+		}()
+		h(sc, r)
 	}
 }
 
@@ -436,8 +540,12 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// handleHealthz reports build info, the shared zone-model memo counters and
-// the service's request totals.
+// handleHealthz reports build info, the shared zone-model memo counters,
+// the service's request totals, the saturation block (admission gauges,
+// windowed per-endpoint percentiles, throttle counts) and — when an SLO is
+// configured — the per-clause compliance block. A server in sustained SLO
+// breach reports "degraded" but stays 200: the process is alive and
+// serving; objective state is the payload's job, not the status code's.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := leqa.ZoneModelCacheStats()
 	as := s.store.Stats()
@@ -445,8 +553,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.memo != nil {
 		ms = s.memo.Stats()
 	}
+	status := "ok"
+	var slo *client.SLOStatus
+	if s.evaluator != nil {
+		s.evaluator.MaybeTick()
+		slo = s.sloStatus()
+		if slo.Degraded {
+			status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, client.Health{
-		Status:          "ok",
+		Status:          status,
 		Version:         s.cfg.Version,
 		GoVersion:       runtime.Version(),
 		UptimeSec:       time.Since(s.start).Seconds(),
@@ -481,6 +598,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Entries:   ms.Entries,
 			Capacity:  ms.Capacity,
 		},
+		Saturation: s.saturationStats(),
+		SLO:        slo,
 	})
 }
 

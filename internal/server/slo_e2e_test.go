@@ -1,0 +1,359 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/leqa"
+	"repro/leqa/client"
+)
+
+// e2eClock is a test-controlled wall clock handed to server.Config.Clock, so
+// SLO ticks and window rotation advance only when the test says so.
+type e2eClock struct{ nanos atomic.Int64 }
+
+func newE2EClock() *e2eClock {
+	c := &e2eClock{}
+	c.nanos.Store(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *e2eClock) Now() time.Time          { return time.Unix(0, c.nanos.Load()) }
+func (c *e2eClock) Advance(d time.Duration) { c.nanos.Add(int64(d)) }
+
+// scrapeTestMetrics fetches and parses ts's /metrics exposition.
+func scrapeTestMetrics(t *testing.T, ts interface{ Client() *http.Client }, url string) telemetry.PromMetrics {
+	t.Helper()
+	resp, err := ts.Client().Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	m, err := telemetry.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestHealthzSLODegradedFlip drives an intentionally unmeetable clause
+// through breach → sustained breach with a fake clock and asserts the whole
+// surface: /healthz reports the clause, flips to "degraded" only after
+// DegradeAfter consecutive breaches, stays HTTP 200 while degraded, and the
+// breach shows up in leqad_slo_breaches_total.
+func TestHealthzSLODegradedFlip(t *testing.T) {
+	clk := newE2EClock()
+	ts, c := newTestServer(t, server.Config{
+		SLO:          "estimate:p99<1ns,error_rate<99%",
+		SLOInterval:  time.Second,
+		DegradeAfter: 3,
+		Clock:        clk.Now,
+	})
+	ctx := context.Background()
+
+	// Traffic first: a vacuous (no-data) window must not count as a breach,
+	// so the clause only starts failing once a real latency lands. The
+	// latency is recorded after the response goes out, so poll until the
+	// saturation block shows it (no clock advance — no further ticks).
+	if _, err := c.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.SLO == nil {
+			t.Fatal("healthz has no slo block despite -slo")
+		}
+		if ep, ok := h.Saturation.Endpoints["estimate"]; ok && ep.Latency.Count >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("estimate latency never landed in the window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// One interval: the clause breaches, but a single breach (at most two,
+	// counting a possible tick during the request itself) must not degrade.
+	clk.Advance(1100 * time.Millisecond)
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.SLO.Degraded {
+		t.Fatalf("degraded before %d consecutive breaches: status=%q", 3, h.Status)
+	}
+	var breached *client.SLOClauseStatus
+	for i := range h.SLO.Clauses {
+		if h.SLO.Clauses[i].Clause == "estimate:p99<1ns" {
+			breached = &h.SLO.Clauses[i]
+		}
+	}
+	if breached == nil || breached.Breaches < 1 || breached.Compliant {
+		t.Fatalf("unmeetable clause not breaching after a tick with data: %+v", breached)
+	}
+
+	// Two more intervals: consecutive breaches reach DegradeAfter.
+	for i := 0; i < 2; i++ {
+		clk.Advance(1100 * time.Millisecond)
+		if h, err = c.Health(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Status != "degraded" || !h.SLO.Degraded {
+		t.Fatalf("status=%q degraded=%v, want degraded after 3 consecutive breaches", h.Status, h.SLO.Degraded)
+	}
+	var unmeetable, errRate *client.SLOClauseStatus
+	for i := range h.SLO.Clauses {
+		switch h.SLO.Clauses[i].Clause {
+		case "estimate:p99<1ns":
+			unmeetable = &h.SLO.Clauses[i]
+		case "error_rate<99%":
+			errRate = &h.SLO.Clauses[i]
+		}
+	}
+	if unmeetable == nil || errRate == nil {
+		t.Fatalf("clauses missing from healthz: %+v", h.SLO.Clauses)
+	}
+	if unmeetable.Compliant || unmeetable.Breaches < 3 || unmeetable.Consecutive < 3 {
+		t.Fatalf("unmeetable clause not breaching: %+v", unmeetable)
+	}
+	if !unmeetable.HasData || unmeetable.Current <= unmeetable.Limit {
+		t.Fatalf("unmeetable clause current/limit wrong: %+v", unmeetable)
+	}
+	if !errRate.Compliant || errRate.Breaches != 0 {
+		t.Fatalf("generous error-rate clause breached: %+v", errRate)
+	}
+
+	// A degraded healthz is still HTTP 200 — load balancers must not eject
+	// the replica over a latency objective.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz = HTTP %d, want 200", resp.StatusCode)
+	}
+
+	m := scrapeTestMetrics(t, ts, ts.URL)
+	if v, ok := m.Value("leqad_slo_breaches_total", map[string]string{"clause": "estimate:p99<1ns"}); !ok || v < 3 {
+		t.Fatalf("leqad_slo_breaches_total{estimate:p99<1ns} = %v (ok=%v), want ≥ 3", v, ok)
+	}
+	if v, ok := m.Value("leqad_slo_degraded", nil); !ok || v != 1 {
+		t.Fatalf("leqad_slo_degraded = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := m.Value("leqad_slo_compliance_ratio", map[string]string{"clause": "error_rate<99%"}); !ok || v != 1 {
+		t.Fatalf("compliance ratio for the generous clause = %v (ok=%v), want 1", v, ok)
+	}
+}
+
+// TestRetryAfterOn429 holds the only worker slot busy and asserts the
+// rejected request carries a Retry-After hint and increments
+// leqad_throttled_total{reason="concurrency"}.
+func TestRetryAfterOn429(t *testing.T) {
+	release, releaseStream := makeRelease(t)
+	firstFlushed := make(chan struct{})
+	ts, c := newTestServer(t, server.Config{
+		MaxConcurrent: 1,
+		FlushHook: func(rows int) {
+			if rows == 1 {
+				close(firstFlushed)
+				<-release
+			}
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Sweep(context.Background(), client.SweepRequest{
+			Circuits: []client.CircuitSpec{{Generate: "ham7"}},
+		}, func(leqa.ResultRecord) error { return nil })
+	}()
+	select {
+	case <-firstFlushed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never started streaming")
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/estimate", "application/json",
+		strings.NewReader(`{"generate":"2bitadder"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 while the only slot streams", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 60]", ra)
+	}
+	releaseStream()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	m := scrapeTestMetrics(t, ts, ts.URL)
+	if v, ok := m.Value("leqad_throttled_total", map[string]string{"reason": "concurrency"}); !ok || v < 1 {
+		t.Fatalf("leqad_throttled_total{concurrency} = %v (ok=%v), want ≥ 1", v, ok)
+	}
+}
+
+// TestThrottledBodyCapReason rejects an oversized JSON body and asserts the
+// 413 is classified under leqad_throttled_total{reason="body_cap"}.
+func TestThrottledBodyCapReason(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{MaxBodyBytes: 512})
+	body := `{"generate":"` + strings.Repeat("a", 2048) + `"}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 for a %d-byte body over a 512-byte cap", resp.StatusCode, len(body))
+	}
+	m := scrapeTestMetrics(t, ts, ts.URL)
+	if v, ok := m.Value("leqad_throttled_total", map[string]string{"reason": "body_cap"}); !ok || v < 1 {
+		t.Fatalf("leqad_throttled_total{body_cap} = %v (ok=%v), want ≥ 1", v, ok)
+	}
+}
+
+// TestDebugClients exercises the bounded per-client accounting: requests
+// carrying an Authorization header are keyed by token hash (never the raw
+// credential), anonymous ones by remote host, and /debug/clients reports
+// both with window counts.
+func TestDebugClients(t *testing.T) {
+	ts, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate", strings.NewReader(`{"generate":"ham7"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer super-secret-token")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized estimate = %d", resp.StatusCode)
+	}
+
+	dresp, err := ts.Client().Get(ts.URL + "/debug/clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var out struct {
+		WindowSec float64 `json:"windowSec"`
+		Clients   []struct {
+			Client         string `json:"client"`
+			Requests       uint64 `json:"requests"`
+			WindowRequests uint64 `json:"windowRequests"`
+		} `json:"clients"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.WindowSec <= 0 {
+		t.Fatalf("windowSec = %v, want > 0", out.WindowSec)
+	}
+	var sawTok, sawAnon bool
+	for _, cl := range out.Clients {
+		if strings.Contains(cl.Client, "super-secret-token") {
+			t.Fatalf("raw credential leaked into /debug/clients: %q", cl.Client)
+		}
+		if strings.HasPrefix(cl.Client, "tok:") {
+			sawTok = true
+		} else {
+			sawAnon = true
+		}
+		if cl.Requests < 1 || cl.WindowRequests < 1 {
+			t.Fatalf("client %q has empty accounting: %+v", cl.Client, cl)
+		}
+	}
+	if !sawTok || !sawAnon {
+		t.Fatalf("want both a token-keyed and a host-keyed client, got %+v", out.Clients)
+	}
+
+	// The same accounting feeds bounded-cardinality /metrics series.
+	m := scrapeTestMetrics(t, ts, ts.URL)
+	if m.Sum("leqad_client_requests_total") < 2 {
+		t.Fatalf("leqad_client_requests_total sums to %v, want ≥ 2", m.Sum("leqad_client_requests_total"))
+	}
+}
+
+// TestHealthzSaturationBlock asserts the healthz saturation block reflects
+// configuration and windowed queue-wait state.
+func TestHealthzSaturationBlock(t *testing.T) {
+	_, c := newTestServer(t, server.Config{MaxConcurrent: 3, MaxQueue: 7})
+	ctx := context.Background()
+	if _, err := c.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Saturation
+	if s == nil {
+		t.Fatal("healthz has no saturation block")
+	}
+	if s.MaxConcurrent != 3 || s.MaxQueue != 7 {
+		t.Fatalf("capacity config not surfaced: %+v", s)
+	}
+	if s.WindowSec <= 0 {
+		t.Fatalf("windowSec = %v, want > 0", s.WindowSec)
+	}
+	ep, ok := s.Endpoints["estimate"]
+	if !ok || ep.Requests < 1 {
+		t.Fatalf("estimate endpoint missing from saturation block: %+v", s.Endpoints)
+	}
+	if ep.Latency.Count < 1 || ep.Latency.P50Ms <= 0 {
+		t.Fatalf("windowed latency not populated: %+v", ep.Latency)
+	}
+	if _, ok := s.Throttled["concurrency"]; !ok {
+		t.Fatalf("throttle reasons missing: %+v", s.Throttled)
+	}
+}
+
+// TestQueueAdmitsBurst opts into the bounded queue and checks a burst over
+// MaxConcurrent succeeds (queued, not rejected) and records queue waits.
+func TestQueueAdmitsBurst(t *testing.T) {
+	_, c := newTestServer(t, server.Config{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: 10 * time.Second})
+	ctx := context.Background()
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := c.Estimate(ctx, client.EstimateRequest{CircuitSpec: client.CircuitSpec{Generate: "ham7"}})
+			errs <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("burst request %d: %v", i, err)
+		}
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Saturation == nil || h.Saturation.QueueWait.Count < 4 {
+		t.Fatalf("queue-wait window should have one observation per admitted request: %+v", h.Saturation)
+	}
+}

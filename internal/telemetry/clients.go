@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OverflowKey is the reserved accounting key absorbing clients evicted from
+// the bounded tracking table, so totals stay conserved at any cardinality.
+const OverflowKey = "other"
+
+// ClientsOptions configures the per-client accounting table.
+type ClientsOptions struct {
+	// Max bounds the tracked-client cardinality (the /metrics label-set
+	// budget); the least-recently-seen client is folded into OverflowKey
+	// past it. Default 64.
+	Max int
+	// Window configures each client's sliding counters.
+	Window WindowOptions
+}
+
+// Clients is bounded-cardinality per-client accounting: cumulative and
+// windowed request/row/byte counters keyed by client (auth token hash or
+// remote address). The table never exceeds Max tracked keys plus the
+// overflow row.
+type Clients struct {
+	max   int
+	wopt  WindowOptions
+	clock Clock
+
+	mu sync.Mutex
+	m  map[string]*clientEntry
+}
+
+type clientEntry struct {
+	key                   string
+	requests, rows, bytes atomic.Uint64 // cumulative
+	wreq, wrows, wbytes   *Counter
+	lastSeen              atomic.Int64 // unix nanos
+}
+
+// NewClients builds the accounting table.
+func NewClients(opt ClientsOptions) *Clients {
+	if opt.Max <= 0 {
+		opt.Max = 64
+	}
+	w := opt.Window.withDefaults()
+	return &Clients{max: opt.Max, wopt: w, clock: w.Clock, m: make(map[string]*clientEntry, opt.Max+1)}
+}
+
+// Record accounts one finished request for key.
+func (t *Clients) Record(key string, rows int, bytes int64) {
+	if key == "" {
+		key = OverflowKey
+	}
+	e := t.entry(key)
+	e.requests.Add(1)
+	e.wreq.Add(1)
+	if rows > 0 {
+		e.rows.Add(uint64(rows))
+		e.wrows.Add(uint64(rows))
+	}
+	if bytes > 0 {
+		e.bytes.Add(uint64(bytes))
+		e.wbytes.Add(uint64(bytes))
+	}
+	e.lastSeen.Store(t.clock().UnixNano())
+}
+
+func (t *Clients) entry(key string) *clientEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.m[key]; e != nil {
+		return e
+	}
+	if key != OverflowKey && t.trackedLocked() >= t.max {
+		t.evictLocked()
+	}
+	e := &clientEntry{
+		key:    key,
+		wreq:   NewCounter(t.wopt),
+		wrows:  NewCounter(t.wopt),
+		wbytes: NewCounter(t.wopt),
+	}
+	t.m[key] = e
+	return e
+}
+
+func (t *Clients) trackedLocked() int {
+	n := len(t.m)
+	if _, ok := t.m[OverflowKey]; ok {
+		n--
+	}
+	return n
+}
+
+// evictLocked folds the least-recently-seen tracked client into the
+// overflow row. Its cumulative counters are conserved; its windowed counts
+// are dropped (the window is a sketch, not a ledger).
+func (t *Clients) evictLocked() {
+	var victim *clientEntry
+	for k, e := range t.m {
+		if k == OverflowKey {
+			continue
+		}
+		if victim == nil || e.lastSeen.Load() < victim.lastSeen.Load() {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(t.m, victim.key)
+	other := t.m[OverflowKey]
+	if other == nil {
+		other = &clientEntry{
+			key:    OverflowKey,
+			wreq:   NewCounter(t.wopt),
+			wrows:  NewCounter(t.wopt),
+			wbytes: NewCounter(t.wopt),
+		}
+		t.m[OverflowKey] = other
+	}
+	other.requests.Add(victim.requests.Load())
+	other.rows.Add(victim.rows.Load())
+	other.bytes.Add(victim.bytes.Load())
+}
+
+// ClientStats is one accounting row.
+type ClientStats struct {
+	Key                                     string    `json:"client"`
+	Requests, Rows, Bytes                   uint64    `json:"-"`
+	WindowRequests, WindowRows, WindowBytes uint64    `json:"-"`
+	LastSeen                                time.Time `json:"-"`
+}
+
+// Snapshot lists every tracked client (plus the overflow row when it
+// exists), sorted by windowed request count descending, ties by key.
+func (t *Clients) Snapshot() []ClientStats {
+	t.mu.Lock()
+	entries := make([]*clientEntry, 0, len(t.m))
+	for _, e := range t.m {
+		entries = append(entries, e)
+	}
+	t.mu.Unlock()
+	out := make([]ClientStats, len(entries))
+	for i, e := range entries {
+		out[i] = ClientStats{
+			Key:            e.key,
+			Requests:       e.requests.Load(),
+			Rows:           e.rows.Load(),
+			Bytes:          e.bytes.Load(),
+			WindowRequests: e.wreq.Total(),
+			WindowRows:     e.wrows.Total(),
+			WindowBytes:    e.wbytes.Total(),
+			LastSeen:       time.Unix(0, e.lastSeen.Load()),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WindowRequests != out[j].WindowRequests {
+			return out[i].WindowRequests > out[j].WindowRequests
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

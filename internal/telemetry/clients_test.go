@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClientsBasicAccounting(t *testing.T) {
+	clk := newFakeClock(t0)
+	c := NewClients(ClientsOptions{Max: 4, Window: clk.opts(time.Minute, 6)})
+	c.Record("alice", 10, 1000)
+	c.Record("alice", 5, 500)
+	c.Record("bob", 1, 100)
+	c.Record("", 2, 0) // empty key folds into the overflow row
+
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot rows = %d, want 3", len(snap))
+	}
+	byKey := make(map[string]ClientStats)
+	for _, s := range snap {
+		byKey[s.Key] = s
+	}
+	a := byKey["alice"]
+	if a.Requests != 2 || a.Rows != 15 || a.Bytes != 1500 || a.WindowRequests != 2 {
+		t.Errorf("alice = %+v", a)
+	}
+	if o := byKey[OverflowKey]; o.Requests != 1 || o.Rows != 2 {
+		t.Errorf("overflow = %+v", o)
+	}
+	// Sorted by window requests descending: alice first.
+	if snap[0].Key != "alice" {
+		t.Errorf("snapshot[0] = %q, want alice", snap[0].Key)
+	}
+}
+
+// TestClientsEviction proves the cardinality bound and conservation: evicted
+// clients' cumulative totals fold into "other", window counts are dropped.
+func TestClientsEviction(t *testing.T) {
+	clk := newFakeClock(t0)
+	c := NewClients(ClientsOptions{Max: 3, Window: clk.opts(time.Minute, 6)})
+	for i := 0; i < 10; i++ {
+		c.Record(fmt.Sprintf("client-%d", i), 1, 10)
+		clk.Advance(time.Millisecond) // distinct lastSeen ordering
+	}
+	snap := c.Snapshot()
+	// 3 tracked + overflow.
+	if len(snap) != 4 {
+		t.Fatalf("snapshot rows = %d, want 4", len(snap))
+	}
+	var totalReq, totalBytes uint64
+	var haveOther bool
+	for _, s := range snap {
+		totalReq += s.Requests
+		totalBytes += s.Bytes
+		if s.Key == OverflowKey {
+			haveOther = true
+			if s.Requests != 7 {
+				t.Errorf("overflow requests = %d, want 7", s.Requests)
+			}
+		}
+	}
+	if !haveOther {
+		t.Fatal("no overflow row after eviction")
+	}
+	// Conservation: cumulative totals survive eviction.
+	if totalReq != 10 || totalBytes != 100 {
+		t.Errorf("totals = %d req / %d bytes, want 10 / 100", totalReq, totalBytes)
+	}
+	// The survivors are the most recently seen.
+	for _, s := range snap {
+		if s.Key == OverflowKey {
+			continue
+		}
+		switch s.Key {
+		case "client-7", "client-8", "client-9":
+		default:
+			t.Errorf("unexpected survivor %q (want the 3 most recent)", s.Key)
+		}
+	}
+}
+
+func TestClientsLRUTouchKeepsActive(t *testing.T) {
+	clk := newFakeClock(t0)
+	c := NewClients(ClientsOptions{Max: 2, Window: clk.opts(time.Minute, 6)})
+	c.Record("old-but-active", 1, 0)
+	clk.Advance(time.Second)
+	c.Record("idle", 1, 0)
+	clk.Advance(time.Second)
+	c.Record("old-but-active", 1, 0) // refreshes lastSeen past "idle"
+	clk.Advance(time.Second)
+	c.Record("newcomer", 1, 0) // must evict "idle", not "old-but-active"
+
+	keys := make(map[string]bool)
+	for _, s := range c.Snapshot() {
+		keys[s.Key] = true
+	}
+	if !keys["old-but-active"] || !keys["newcomer"] || keys["idle"] {
+		t.Fatalf("tracked keys = %v, want old-but-active + newcomer + overflow", keys)
+	}
+}

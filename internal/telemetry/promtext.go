@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed Prometheus text-exposition sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// PromMetrics indexes parsed samples by series name (as written, so
+// histogram components keep their _bucket/_sum/_count suffixes). It is the
+// scrape-side counterpart of the server's hand-rolled exposition — just
+// enough parser for cmd/leqaload to read windowed percentiles and SLO
+// series back out of /metrics.
+type PromMetrics map[string][]PromSample
+
+// ParseProm parses the Prometheus text format, skipping comments. A
+// malformed sample line is an error: the harness should fail loudly on an
+// exposition bug rather than silently dropping series.
+func ParseProm(r io.Reader) (PromMetrics, error) {
+	m := make(PromMetrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+		}
+		m[s.Name] = append(m[s.Name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		s.Labels = make(map[string]string)
+		for _, pair := range splitPromLabels(line[i+1 : end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("bad label %q", pair)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("bad label value %q: %v", pair, err)
+			}
+			s.Labels[strings.TrimSpace(k)] = uq
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitPromLabels splits k1="v1",k2="v2" on commas outside quotes.
+func splitPromLabels(s string) []string {
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// Value returns the sample of name whose labels include every key/value in
+// want (extra labels on the sample are fine).
+func (m PromMetrics) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range m[name] {
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum totals every sample of name across label sets.
+func (m PromMetrics) Sum(name string) float64 {
+	var t float64
+	for _, s := range m[name] {
+		t += s.Value
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProm(t *testing.T) {
+	const exposition = `# HELP leqad_requests_total Requests by endpoint.
+# TYPE leqad_requests_total counter
+leqad_requests_total{endpoint="estimate"} 42
+leqad_requests_total{endpoint="sweep"} 7
+leqad_request_latency_window_seconds{endpoint="estimate",quantile="0.99"} 0.125
+leqad_slo_compliance_ratio{clause="estimate:p99<250ms"} 0.95
+leqad_queue_depth 3
+leqad_memo_hits_total 1e3
+
+leqad_odd_label{msg="a,b\"c"} 1
+`
+	m, err := ParseProm(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("leqad_requests_total", map[string]string{"endpoint": "estimate"}); !ok || v != 42 {
+		t.Errorf("estimate requests = %v ok=%v, want 42", v, ok)
+	}
+	if got := m.Sum("leqad_requests_total"); got != 49 {
+		t.Errorf("Sum = %v, want 49", got)
+	}
+	if v, ok := m.Value("leqad_request_latency_window_seconds", map[string]string{"endpoint": "estimate", "quantile": "0.99"}); !ok || v != 0.125 {
+		t.Errorf("windowed p99 = %v ok=%v, want 0.125", v, ok)
+	}
+	if v, ok := m.Value("leqad_slo_compliance_ratio", map[string]string{"clause": "estimate:p99<250ms"}); !ok || v != 0.95 {
+		t.Errorf("compliance = %v ok=%v", v, ok)
+	}
+	if v, ok := m.Value("leqad_queue_depth", nil); !ok || v != 3 {
+		t.Errorf("queue depth = %v ok=%v", v, ok)
+	}
+	if v, ok := m.Value("leqad_memo_hits_total", nil); !ok || v != 1000 {
+		t.Errorf("scientific notation = %v ok=%v", v, ok)
+	}
+	if v, ok := m.Value("leqad_odd_label", map[string]string{"msg": `a,b"c`}); !ok || v != 1 {
+		t.Errorf("quoted label = %v ok=%v", v, ok)
+	}
+	// Subset match: missing label key on the sample fails the match.
+	if _, ok := m.Value("leqad_queue_depth", map[string]string{"endpoint": "x"}); ok {
+		t.Error("label subset matched an unlabeled sample")
+	}
+}
+
+func TestParsePromMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"leqad_x{unterminated 1",
+		"leqad_x notanumber",
+		"leqad_x 1 2 3",
+		`leqad_x{k=unquoted} 1`,
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseProm(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Clause is one parsed SLO objective, e.g. "estimate:p99<250ms" or
+// "error_rate<1%". Scope selects an endpoint's window ("" = all request
+// traffic); Metric is a windowed latency quantile (p50/p90/p99/p999) or
+// error_rate.
+type Clause struct {
+	// Scope is the endpoint the clause binds to; empty means the merged
+	// traffic of every estimation endpoint.
+	Scope string
+	// Metric is "p50", "p90", "p99", "p999" or "error_rate".
+	Metric string
+	// Quantile is the parsed quantile for pXX metrics (0 for error_rate).
+	Quantile float64
+	// Limit is the objective: seconds for latency metrics, a 0..1 ratio for
+	// error_rate. Compliance is Limit-inclusive (current ≤ Limit).
+	Limit float64
+}
+
+// String renders the canonical clause form used as the /metrics label and
+// the /healthz clause name.
+func (c Clause) String() string {
+	var v string
+	if c.Metric == "error_rate" {
+		v = strconv.FormatFloat(c.Limit*100, 'g', -1, 64) + "%"
+	} else {
+		v = time.Duration(c.Limit * float64(time.Second)).String()
+	}
+	if c.Scope != "" {
+		return c.Scope + ":" + c.Metric + "<" + v
+	}
+	return c.Metric + "<" + v
+}
+
+// quantiles maps the recognized latency metrics.
+var quantiles = map[string]float64{
+	"p50": 0.50, "p90": 0.90, "p99": 0.99, "p999": 0.999,
+}
+
+// ParseSLO parses a comma-separated clause list, e.g.
+// "estimate:p99<250ms,error_rate<1%". Each clause is
+// [scope:]metric<value where value is a Go duration (latency metrics) or a
+// percentage / ratio (error_rate).
+func ParseSLO(s string) ([]Clause, error) {
+	var clauses []Clause
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		expr := raw
+		var c Clause
+		if i := strings.IndexByte(expr, ':'); i >= 0 {
+			c.Scope = strings.TrimSpace(expr[:i])
+			expr = expr[i+1:]
+		}
+		metric, val, ok := strings.Cut(expr, "<")
+		if !ok {
+			return nil, fmt.Errorf("slo clause %q: want [scope:]metric<value", raw)
+		}
+		metric = strings.TrimSpace(strings.TrimSuffix(metric, "="))
+		val = strings.TrimSpace(strings.TrimPrefix(val, "="))
+		c.Metric = metric
+		switch {
+		case metric == "error_rate":
+			ratio, err := parseRatio(val)
+			if err != nil {
+				return nil, fmt.Errorf("slo clause %q: %v", raw, err)
+			}
+			c.Limit = ratio
+		default:
+			q, ok := quantiles[metric]
+			if !ok {
+				return nil, fmt.Errorf("slo clause %q: unknown metric %q (want p50, p90, p99, p999 or error_rate)", raw, metric)
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo clause %q: bad latency objective %q", raw, val)
+			}
+			c.Quantile = q
+			c.Limit = d.Seconds()
+		}
+		clauses = append(clauses, c)
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("empty slo clause list")
+	}
+	return clauses, nil
+}
+
+// parseRatio accepts "1%" or a bare 0..1 ratio like "0.01".
+func parseRatio(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v > 1 || math.IsNaN(v) {
+		return 0, fmt.Errorf("rate %q outside [0,1]", s)
+	}
+	return v, nil
+}
+
+// ScopeStats is one evaluation input: the scope's windowed latency sketch
+// and its windowed request/error counts.
+type ScopeStats struct {
+	Latency  Hist
+	Requests uint64
+	Errors   uint64
+}
+
+// Source resolves a clause scope to its current windowed stats.
+type Source func(scope string) ScopeStats
+
+// EvaluatorOptions tunes the SLO evaluator.
+type EvaluatorOptions struct {
+	// Interval paces MaybeTick-driven evaluation; default 5s.
+	Interval time.Duration
+	// DegradeAfter is the consecutive breaching evaluations before the
+	// evaluator reports Degraded (the /healthz "degraded" status); default 3
+	// — one bad scrape never flaps the probe.
+	DegradeAfter int
+	// HistoryTicks sizes the compliance-ratio window (fraction of recent
+	// evaluations compliant); default 60.
+	HistoryTicks int
+	// Clock injects time; nil selects time.Now.
+	Clock Clock
+}
+
+func (o EvaluatorOptions) withDefaults() EvaluatorOptions {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
+	}
+	if o.HistoryTicks <= 0 {
+		o.HistoryTicks = 60
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// clauseState is one clause's evaluation history.
+type clauseState struct {
+	current     float64 // last evaluated value (seconds or ratio)
+	hasData     bool    // scope had samples at the last evaluation
+	compliant   bool
+	breaches    uint64 // evaluations in violation, monotone
+	consecutive int    // current run of breaching evaluations
+	history     []bool // ring of recent outcomes
+	histIdx     int
+	histLen     int
+}
+
+// Evaluator periodically scores SLO clauses against windowed stats. Ticks
+// are self-paced: call MaybeTick from any request path (it no-ops between
+// intervals) and optionally Run a background ticker so objectives keep
+// being scored on an idle server.
+type Evaluator struct {
+	clauses []Clause
+	src     Source
+	opt     EvaluatorOptions
+
+	mu       sync.Mutex
+	lastTick time.Time
+	ticks    uint64
+	states   []clauseState
+}
+
+// NewEvaluator builds an evaluator over the given clauses.
+func NewEvaluator(clauses []Clause, src Source, opt EvaluatorOptions) *Evaluator {
+	opt = opt.withDefaults()
+	e := &Evaluator{clauses: clauses, src: src, opt: opt, states: make([]clauseState, len(clauses))}
+	for i := range e.states {
+		e.states[i].compliant = true
+		e.states[i].history = make([]bool, opt.HistoryTicks)
+	}
+	return e
+}
+
+// Clauses returns the evaluator's parsed clause list.
+func (e *Evaluator) Clauses() []Clause { return e.clauses }
+
+// Interval reports the evaluation cadence.
+func (e *Evaluator) Interval() time.Duration { return e.opt.Interval }
+
+// MaybeTick evaluates every clause if at least one interval elapsed since
+// the last evaluation; otherwise it returns immediately. Cheap enough to
+// call once per request completion and per scrape.
+func (e *Evaluator) MaybeTick() {
+	now := e.opt.Clock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.lastTick.IsZero() && now.Sub(e.lastTick) < e.opt.Interval {
+		return
+	}
+	e.tickLocked(now)
+}
+
+// Tick forces one evaluation now, regardless of pacing — the test and
+// background-ticker entry point.
+func (e *Evaluator) Tick() {
+	now := e.opt.Clock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tickLocked(now)
+}
+
+func (e *Evaluator) tickLocked(now time.Time) {
+	e.lastTick = now
+	e.ticks++
+	for i, c := range e.clauses {
+		st := &e.states[i]
+		stats := e.src(c.Scope)
+		switch c.Metric {
+		case "error_rate":
+			st.hasData = stats.Requests > 0
+			st.current = 0
+			if st.hasData {
+				st.current = float64(stats.Errors) / float64(stats.Requests)
+			}
+		default:
+			st.hasData = stats.Latency.Count() > 0
+			st.current = 0
+			if st.hasData {
+				q, _ := stats.Latency.Quantile(c.Quantile)
+				st.current = q.Seconds()
+			}
+		}
+		// A windowed objective over no traffic is vacuously met: an idle
+		// server must not breach, and a zero-sample p99 is not 0ms.
+		st.compliant = !st.hasData || st.current <= c.Limit
+		if st.compliant {
+			st.consecutive = 0
+		} else {
+			st.breaches++
+			st.consecutive++
+		}
+		st.history[st.histIdx] = st.compliant
+		st.histIdx = (st.histIdx + 1) % len(st.history)
+		if st.histLen < len(st.history) {
+			st.histLen++
+		}
+	}
+}
+
+// Run evaluates on every interval until ctx is done — the background pacing
+// for idle servers. Call as a goroutine; MaybeTick callers stay correct
+// whether or not Run is active.
+func (e *Evaluator) Run(done <-chan struct{}) {
+	t := time.NewTicker(e.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			e.Tick()
+		}
+	}
+}
+
+// ClauseStatus is one clause's externally visible state.
+type ClauseStatus struct {
+	// Clause is the canonical clause string (the /metrics label).
+	Clause string
+	Scope  string
+	Metric string
+	// Limit is the objective in seconds (latency) or as a ratio (error_rate).
+	Limit float64
+	// Current is the last evaluated value in the same unit; 0 with
+	// HasData=false when the window held no samples.
+	Current float64
+	HasData bool
+	// Compliant is the last evaluation's verdict (vacuously true with no
+	// data).
+	Compliant bool
+	// ComplianceRatio is the fraction of recent evaluations compliant
+	// (1 before any evaluation ran).
+	ComplianceRatio float64
+	// Breaches counts evaluations in violation since startup, monotone.
+	Breaches uint64
+	// Consecutive is the current run of breaching evaluations; Degraded
+	// flips at the evaluator's DegradeAfter.
+	Consecutive int
+}
+
+// Status is the evaluator's externally visible state.
+type Status struct {
+	// Degraded is true while any clause has breached DegradeAfter
+	// consecutive evaluations.
+	Degraded bool
+	// Ticks counts evaluations since startup.
+	Ticks uint64
+	// Interval is the evaluation cadence.
+	Interval time.Duration
+	Clauses  []ClauseStatus
+}
+
+// Status snapshots every clause.
+func (e *Evaluator) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Status{Ticks: e.ticks, Interval: e.opt.Interval, Clauses: make([]ClauseStatus, len(e.clauses))}
+	for i, c := range e.clauses {
+		st := &e.states[i]
+		ratio := 1.0
+		if st.histLen > 0 {
+			good := 0
+			for j := 0; j < st.histLen; j++ {
+				if st.history[j] {
+					good++
+				}
+			}
+			ratio = float64(good) / float64(st.histLen)
+		}
+		out.Clauses[i] = ClauseStatus{
+			Clause:          c.String(),
+			Scope:           c.Scope,
+			Metric:          c.Metric,
+			Limit:           c.Limit,
+			Current:         st.current,
+			HasData:         st.hasData,
+			Compliant:       st.compliant,
+			ComplianceRatio: ratio,
+			Breaches:        st.breaches,
+			Consecutive:     st.consecutive,
+		}
+		if st.consecutive >= e.opt.DegradeAfter {
+			out.Degraded = true
+		}
+	}
+	return out
+}

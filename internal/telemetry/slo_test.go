@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string // canonical String() forms
+		wantErr string
+	}{
+		{in: "estimate:p99<250ms,error_rate<1%", want: []string{"estimate:p99<250ms", "error_rate<1%"}},
+		{in: "p50<10ms", want: []string{"p50<10ms"}},
+		{in: "sweep:p999<=2s", want: []string{"sweep:p999<2s"}},
+		{in: "error_rate<0.05", want: []string{"error_rate<5%"}},
+		{in: " grid:p90<1.5s , ", want: []string{"grid:p90<1.5s"}},
+		{in: "", wantErr: "empty"},
+		{in: "p42<1s", wantErr: "unknown metric"},
+		{in: "p99>1s", wantErr: "want [scope:]metric<value"},
+		{in: "p99<banana", wantErr: "bad latency objective"},
+		{in: "p99<-3ms", wantErr: "bad latency objective"},
+		{in: "error_rate<150%", wantErr: "outside [0,1]"},
+		{in: "error_rate<oops", wantErr: "bad rate"},
+	}
+	for _, tc := range cases {
+		clauses, err := ParseSLO(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseSLO(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.in, err)
+			continue
+		}
+		var got []string
+		for _, c := range clauses {
+			got = append(got, c.String())
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseSLO(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseSLO(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// sloHarness wires an evaluator to a mutable stats source.
+type sloHarness struct {
+	clk   *fakeClock
+	stats map[string]ScopeStats
+	ev    *Evaluator
+}
+
+func newSLOHarness(t *testing.T, slo string, opt EvaluatorOptions) *sloHarness {
+	t.Helper()
+	clauses, err := ParseSLO(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &sloHarness{clk: newFakeClock(t0), stats: make(map[string]ScopeStats)}
+	opt.Clock = h.clk.Now
+	h.ev = NewEvaluator(clauses, func(scope string) ScopeStats { return h.stats[scope] }, opt)
+	return h
+}
+
+func (h *sloHarness) setLatency(scope string, samples ...time.Duration) {
+	w := NewWindow(WindowOptions{Clock: h.clk.Now})
+	for _, d := range samples {
+		w.Observe(d)
+	}
+	st := h.stats[scope]
+	st.Latency = w.Snapshot()
+	st.Requests = uint64(len(samples))
+	h.stats[scope] = st
+}
+
+func TestEvaluatorBreachAndRecovery(t *testing.T) {
+	h := newSLOHarness(t, "estimate:p99<100ms", EvaluatorOptions{DegradeAfter: 2})
+
+	// No data: vacuously compliant, never degraded.
+	h.ev.Tick()
+	st := h.ev.Status()
+	c := st.Clauses[0]
+	if !c.Compliant || c.HasData || c.Breaches != 0 || st.Degraded {
+		t.Fatalf("vacuous tick: %+v degraded=%v", c, st.Degraded)
+	}
+
+	// Fast traffic: compliant with data.
+	h.setLatency("estimate", 10*time.Millisecond, 20*time.Millisecond)
+	h.ev.Tick()
+	c = h.ev.Status().Clauses[0]
+	if !c.Compliant || !c.HasData || c.Breaches != 0 {
+		t.Fatalf("compliant tick: %+v", c)
+	}
+
+	// Slow traffic: first breach counts but does not yet degrade.
+	h.setLatency("estimate", 500*time.Millisecond, 600*time.Millisecond)
+	h.ev.Tick()
+	st = h.ev.Status()
+	c = st.Clauses[0]
+	if c.Compliant || c.Breaches != 1 || c.Consecutive != 1 || st.Degraded {
+		t.Fatalf("first breach: %+v degraded=%v", c, st.Degraded)
+	}
+
+	// Second consecutive breach: degraded flips.
+	h.ev.Tick()
+	st = h.ev.Status()
+	c = st.Clauses[0]
+	if c.Breaches != 2 || c.Consecutive != 2 || !st.Degraded {
+		t.Fatalf("second breach: %+v degraded=%v", c, st.Degraded)
+	}
+	if c.Current < 0.4 || c.Current > 0.7 {
+		t.Errorf("current = %v, want ~0.5-0.6s", c.Current)
+	}
+
+	// Recovery: compliance resets consecutive, keeps the monotone breach
+	// count, clears degraded.
+	h.setLatency("estimate", 5*time.Millisecond)
+	h.ev.Tick()
+	st = h.ev.Status()
+	c = st.Clauses[0]
+	if !c.Compliant || c.Breaches != 2 || c.Consecutive != 0 || st.Degraded {
+		t.Fatalf("recovery: %+v degraded=%v", c, st.Degraded)
+	}
+	// 5 ticks, 2 breaching → ratio 3/5.
+	if c.ComplianceRatio != 0.6 {
+		t.Errorf("compliance ratio = %v, want 0.6", c.ComplianceRatio)
+	}
+}
+
+func TestEvaluatorErrorRate(t *testing.T) {
+	h := newSLOHarness(t, "error_rate<10%", EvaluatorOptions{})
+	h.stats[""] = ScopeStats{Requests: 100, Errors: 5}
+	h.ev.Tick()
+	c := h.ev.Status().Clauses[0]
+	if !c.Compliant || c.Current != 0.05 {
+		t.Fatalf("5%% errors under 10%% objective: %+v", c)
+	}
+	h.stats[""] = ScopeStats{Requests: 100, Errors: 25}
+	h.ev.Tick()
+	c = h.ev.Status().Clauses[0]
+	if c.Compliant || c.Current != 0.25 || c.Breaches != 1 {
+		t.Fatalf("25%% errors: %+v", c)
+	}
+}
+
+func TestEvaluatorMaybeTickPacing(t *testing.T) {
+	h := newSLOHarness(t, "p99<1s", EvaluatorOptions{Interval: 5 * time.Second})
+	h.ev.MaybeTick() // first call always evaluates
+	h.ev.MaybeTick() // same instant: paced out
+	if got := h.ev.Status().Ticks; got != 1 {
+		t.Fatalf("ticks = %d, want 1", got)
+	}
+	h.clk.Advance(2 * time.Second)
+	h.ev.MaybeTick()
+	if got := h.ev.Status().Ticks; got != 1 {
+		t.Fatalf("ticks after 2s = %d, want 1", got)
+	}
+	h.clk.Advance(4 * time.Second)
+	h.ev.MaybeTick()
+	if got := h.ev.Status().Ticks; got != 2 {
+		t.Fatalf("ticks after 6s = %d, want 2", got)
+	}
+}

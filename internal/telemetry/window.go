@@ -1,0 +1,380 @@
+// Package telemetry provides the service's windowed observability
+// primitives: lock-cheap sliding-window latency sketches (Window), windowed
+// event counters (Counter), a configurable SLO evaluator (Evaluator), and
+// bounded-cardinality per-client accounting (Clients).
+//
+// The sketches answer "what is my p99 over the last minute" without
+// unbounded memory: each Window keeps a small ring of fixed-bucket
+// histograms, one per wall-clock epoch, and merges the live slots on read.
+// Writers touch only atomics on the hot path; the single mutex guards epoch
+// rotation, taken once per epoch per ring.
+//
+// Every type takes an injectable Clock so tests can drive epoch boundaries
+// and clock jumps deterministically — no code in the record or merge path
+// calls time.Now directly.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts time.Now for deterministic tests.
+type Clock func() time.Time
+
+// Bucket layout shared by every Window: geometric bounds from bucketMin
+// growing by bucketRatio per bucket, plus one unbounded overflow bucket.
+// The ratio bounds the worst-case quantile error at ~9% before
+// interpolation — tight enough for SLO verdicts and the load harness's
+// client/server agreement check.
+const (
+	bucketMin   = 10 * time.Microsecond
+	bucketRatio = 1.0905077326652577 // 2^(1/8)
+	bucketMax   = 10 * time.Minute   // smallest bound ≥ this ends the table
+)
+
+// bucketBounds[i] is the inclusive upper bound of bucket i; the final
+// overflow bucket has no bound.
+var bucketBounds = makeBounds()
+
+// numBuckets counts the bounded buckets plus the overflow bucket.
+var numBuckets = len(bucketBounds) + 1
+
+func makeBounds() []time.Duration {
+	var bounds []time.Duration
+	b := float64(bucketMin)
+	for {
+		d := time.Duration(math.Round(b))
+		bounds = append(bounds, d)
+		if d >= bucketMax {
+			return bounds
+		}
+		b *= bucketRatio
+	}
+}
+
+// bucketIndex maps a duration to its bucket by binary search over the
+// bounds; negative durations clamp to bucket 0.
+func bucketIndex(d time.Duration) int {
+	if d <= bucketBounds[0] {
+		return 0
+	}
+	lo, hi := 1, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(bucketBounds) means overflow
+}
+
+// WindowOptions configures a Window or Counter ring.
+type WindowOptions struct {
+	// Length is the total sliding window merged on read; default 60s.
+	Length time.Duration
+	// Slots is the ring granularity: the window is divided into this many
+	// epochs (plus one spare so a full window is always mergeable while the
+	// current epoch fills). Default 6.
+	Slots int
+	// Clock injects time; nil selects time.Now.
+	Clock Clock
+}
+
+func (o WindowOptions) withDefaults() WindowOptions {
+	if o.Length <= 0 {
+		o.Length = time.Minute
+	}
+	if o.Slots <= 0 {
+		o.Slots = 6
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// histSlot is one epoch's histogram. All fields are atomics: writers never
+// take a lock.
+type histSlot struct {
+	epoch  atomic.Int64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	counts []atomic.Uint64
+}
+
+// Window is a sliding-window latency sketch: a ring of per-epoch fixed
+// bucket histograms rotated on the wall clock and merged on read. Safe for
+// concurrent use; Observe is wait-free except on the first observation of a
+// new epoch.
+type Window struct {
+	epoch time.Duration
+	n     int // live epochs merged on read
+	clock Clock
+
+	mu   sync.Mutex // rotation only
+	ring []atomic.Pointer[histSlot]
+	cur  atomic.Pointer[histSlot]
+}
+
+// NewWindow builds a sliding-window sketch.
+func NewWindow(opt WindowOptions) *Window {
+	opt = opt.withDefaults()
+	return &Window{
+		epoch: opt.Length / time.Duration(opt.Slots),
+		n:     opt.Slots,
+		clock: opt.Clock,
+		ring:  make([]atomic.Pointer[histSlot], opt.Slots+1),
+	}
+}
+
+// Length reports the configured window span.
+func (w *Window) Length() time.Duration { return w.epoch * time.Duration(w.n) }
+
+// Observe records one duration into the current epoch's histogram.
+func (w *Window) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := w.slot()
+	s.counts[bucketIndex(d)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(d.Nanoseconds())
+}
+
+// slot returns the histogram of the current epoch, rotating the ring when
+// the epoch advanced. A backwards clock jump keeps recording into the
+// newest slot (samples never travel back in time); a forward jump past the
+// whole ring lands in a freshly reset slot, and the stale slots simply
+// never satisfy the merge-window check again.
+func (w *Window) slot() *histSlot {
+	e := int64(w.clock().UnixNano()) / int64(w.epoch)
+	if s := w.cur.Load(); s != nil && s.epoch.Load() == e {
+		return s
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s := w.cur.Load(); s != nil {
+		if ce := s.epoch.Load(); ce >= e {
+			return s // lost the rotation race, or the clock jumped back
+		}
+	}
+	i := int(e % int64(len(w.ring)))
+	if i < 0 {
+		i += len(w.ring)
+	}
+	s := w.ring[i].Load()
+	if s == nil {
+		s = &histSlot{counts: make([]atomic.Uint64, numBuckets)}
+		w.ring[i].Store(s)
+	} else {
+		// Reused slots held epoch e-(ring length) or older — always outside
+		// the merge window, so zeroing here cannot race a merge that still
+		// counts them. A writer stalled for a full window could land a
+		// sample in the new epoch; that misattribution is bounded by one
+		// sample per stalled goroutine.
+		for j := range s.counts {
+			s.counts[j].Store(0)
+		}
+		s.count.Store(0)
+		s.sum.Store(0)
+	}
+	s.epoch.Store(e)
+	w.cur.Store(s)
+	return s
+}
+
+// Snapshot merges the live epochs into one histogram value. The merge is a
+// sequence of atomic loads racing live writers, so a snapshot taken under
+// load can be off by the in-flight observations — the standard tolerance
+// for lock-free telemetry.
+func (w *Window) Snapshot() Hist {
+	e := int64(w.clock().UnixNano()) / int64(w.epoch)
+	if s := w.cur.Load(); s != nil {
+		if ce := s.epoch.Load(); ce > e {
+			e = ce // reader's clock lags a writer's: trust the writes
+		}
+	}
+	h := Hist{counts: make([]uint64, numBuckets)}
+	for i := range w.ring {
+		s := w.ring[i].Load()
+		if s == nil {
+			continue
+		}
+		if se := s.epoch.Load(); se <= e-int64(w.n) || se > e {
+			continue
+		}
+		for j := range s.counts {
+			h.counts[j] += s.counts[j].Load()
+		}
+		h.count += s.count.Load()
+		h.sum += time.Duration(s.sum.Load())
+	}
+	return h
+}
+
+// Hist is a merged histogram snapshot.
+type Hist struct {
+	counts []uint64
+	count  uint64
+	sum    time.Duration
+}
+
+// Count reports the number of merged observations.
+func (h Hist) Count() uint64 { return h.count }
+
+// Sum reports the merged duration total.
+func (h Hist) Sum() time.Duration { return h.sum }
+
+// Mean reports the merged average (0 when empty).
+func (h Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Merge folds another snapshot into h (for cross-endpoint SLO scopes).
+func (h *Hist) Merge(o Hist) {
+	if o.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, numBuckets)
+	}
+	for i := range o.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by nearest rank with linear
+// interpolation inside the landing bucket. ok is false when the window holds
+// no samples. The overflow bucket clamps to the largest bound.
+func (h Hist) Quantile(q float64) (time.Duration, bool) {
+	if h.count == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			hi := bucketBounds[len(bucketBounds)-1]
+			lo := hi
+			if i < len(bucketBounds) {
+				hi = bucketBounds[i]
+				lo = time.Duration(0)
+				if i > 0 {
+					lo = bucketBounds[i-1]
+				}
+			}
+			frac := float64(target-cum) / float64(c)
+			return lo + time.Duration(float64(hi-lo)*frac), true
+		}
+		cum += c
+	}
+	return bucketBounds[len(bucketBounds)-1], true
+}
+
+// cntSlot is one epoch of a Counter.
+type cntSlot struct {
+	epoch atomic.Int64
+	v     atomic.Uint64
+}
+
+// Counter is a sliding-window event counter: Add lands in the current
+// epoch, Total merges the live epochs. Same rotation discipline as Window.
+type Counter struct {
+	epoch time.Duration
+	n     int
+	clock Clock
+
+	mu   sync.Mutex
+	ring []atomic.Pointer[cntSlot]
+	cur  atomic.Pointer[cntSlot]
+}
+
+// NewCounter builds a sliding-window counter.
+func NewCounter(opt WindowOptions) *Counter {
+	opt = opt.withDefaults()
+	return &Counter{
+		epoch: opt.Length / time.Duration(opt.Slots),
+		n:     opt.Slots,
+		clock: opt.Clock,
+		ring:  make([]atomic.Pointer[cntSlot], opt.Slots+1),
+	}
+}
+
+// Length reports the configured window span.
+func (c *Counter) Length() time.Duration { return c.epoch * time.Duration(c.n) }
+
+// Add records n events in the current epoch.
+func (c *Counter) Add(n uint64) {
+	c.slot().v.Add(n)
+}
+
+func (c *Counter) slot() *cntSlot {
+	e := int64(c.clock().UnixNano()) / int64(c.epoch)
+	if s := c.cur.Load(); s != nil && s.epoch.Load() == e {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.cur.Load(); s != nil {
+		if ce := s.epoch.Load(); ce >= e {
+			return s
+		}
+	}
+	i := int(e % int64(len(c.ring)))
+	if i < 0 {
+		i += len(c.ring)
+	}
+	s := c.ring[i].Load()
+	if s == nil {
+		s = &cntSlot{}
+		c.ring[i].Store(s)
+	} else {
+		s.v.Store(0)
+	}
+	s.epoch.Store(e)
+	c.cur.Store(s)
+	return s
+}
+
+// Total merges the live epochs' counts.
+func (c *Counter) Total() uint64 {
+	e := int64(c.clock().UnixNano()) / int64(c.epoch)
+	if s := c.cur.Load(); s != nil {
+		if ce := s.epoch.Load(); ce > e {
+			e = ce
+		}
+	}
+	var total uint64
+	for i := range c.ring {
+		s := c.ring[i].Load()
+		if s == nil {
+			continue
+		}
+		if se := s.epoch.Load(); se <= e-int64(c.n) || se > e {
+			continue
+		}
+		total += s.v.Load()
+	}
+	return total
+}

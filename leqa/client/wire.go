@@ -168,21 +168,100 @@ type LatencyStats struct {
 	Buckets        []uint64  `json:"buckets"`
 }
 
+// WindowQuantiles summarizes one sliding-window latency sketch: sample
+// count plus interpolated percentiles in milliseconds (0 when the window is
+// empty — check Count).
+type WindowQuantiles struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+}
+
+// WindowEndpointStats is one endpoint's sliding-window view: completions,
+// errors (5xx plus 429) and the latency quantiles of successful replies.
+type WindowEndpointStats struct {
+	Requests uint64          `json:"requests"`
+	Errors   uint64          `json:"errors"`
+	Latency  WindowQuantiles `json:"latency"`
+}
+
+// SaturationStats is the /healthz saturation block: how full the admission
+// path is right now and over the sliding window.
+type SaturationStats struct {
+	// InFlight and QueueDepth are live gauges of admitted and queued
+	// estimation requests; MaxConcurrent and MaxQueue are their configured
+	// ceilings (MaxQueue 0 = reject immediately when full).
+	InFlight      int64 `json:"inFlight"`
+	QueueDepth    int64 `json:"queueDepth"`
+	MaxConcurrent int   `json:"maxConcurrent"`
+	MaxQueue      int   `json:"maxQueue"`
+	// WindowSec is the sliding-window span every windowed figure covers.
+	WindowSec float64 `json:"windowSec"`
+	// QueueWait is the windowed slot-wait distribution (0 samples are
+	// immediate admissions); its p50 prices 429 Retry-After hints.
+	QueueWait WindowQuantiles `json:"queueWait"`
+	// Throttled counts rejections by reason since startup: concurrency,
+	// queue_timeout, body_cap, gate_cap.
+	Throttled map[string]uint64 `json:"throttled"`
+	// Endpoints holds the windowed per-endpoint series (estimate, sweep,
+	// grid).
+	Endpoints map[string]WindowEndpointStats `json:"endpoints"`
+}
+
+// SLOClauseStatus is one objective's state in the /healthz slo block.
+type SLOClauseStatus struct {
+	// Clause is the canonical clause string, e.g. "estimate:p99<250ms" —
+	// also the clause label on the /metrics slo series.
+	Clause string `json:"clause"`
+	// Current and Limit are in seconds for latency clauses and a 0..1
+	// ratio for error_rate. Current is 0 with HasData false when the
+	// window held no traffic at the last evaluation (vacuously compliant).
+	Current float64 `json:"current"`
+	Limit   float64 `json:"limit"`
+	HasData bool    `json:"hasData"`
+	// Compliant is the last evaluation's verdict; ComplianceRatio the
+	// fraction of recent evaluations compliant.
+	Compliant       bool    `json:"compliant"`
+	ComplianceRatio float64 `json:"complianceRatio"`
+	// Breaches counts violating evaluations since startup (monotone);
+	// Consecutive is the current breach run — the server degrades when it
+	// reaches the configured threshold.
+	Breaches    uint64 `json:"breaches"`
+	Consecutive int    `json:"consecutive"`
+}
+
+// SLOStatus is the /healthz slo block, present only when the server was
+// started with objectives.
+type SLOStatus struct {
+	// Degraded mirrors the top-level "degraded" status: some clause has
+	// breached for the configured consecutive evaluations.
+	Degraded    bool              `json:"degraded"`
+	Ticks       uint64            `json:"ticks"`
+	IntervalSec float64           `json:"intervalSec"`
+	Clauses     []SLOClauseStatus `json:"clauses"`
+}
+
 // Health is the GET /healthz reply: build info plus the shared zone-model
-// memo counters and the server's request/stream totals.
+// memo counters and the server's request/stream totals. Status is "ok", or
+// "degraded" while a configured SLO clause is in sustained breach — still
+// HTTP 200 (the process serves; objective state lives in the payload).
 type Health struct {
-	Status          string       `json:"status"`
-	Version         string       `json:"version"`
-	GoVersion       string       `json:"goVersion"`
-	UptimeSec       float64      `json:"uptimeSec"`
-	Workers         int          `json:"workers"`
-	Requests        uint64       `json:"requests"`
-	RowsStreamed    uint64       `json:"rowsStreamed"`
-	BatchesCanceled uint64       `json:"batchesCanceled"`
-	EstimateLatency LatencyStats `json:"estimateLatency"`
-	ZoneModelCache  CacheStats   `json:"zoneModelCache"`
-	AnalysisStore   StoreStats   `json:"analysisStore"`
-	ResultMemo      MemoStats    `json:"resultMemo"`
+	Status          string           `json:"status"`
+	Version         string           `json:"version"`
+	GoVersion       string           `json:"goVersion"`
+	UptimeSec       float64          `json:"uptimeSec"`
+	Workers         int              `json:"workers"`
+	Requests        uint64           `json:"requests"`
+	RowsStreamed    uint64           `json:"rowsStreamed"`
+	BatchesCanceled uint64           `json:"batchesCanceled"`
+	EstimateLatency LatencyStats     `json:"estimateLatency"`
+	ZoneModelCache  CacheStats       `json:"zoneModelCache"`
+	AnalysisStore   StoreStats       `json:"analysisStore"`
+	ResultMemo      MemoStats        `json:"resultMemo"`
+	Saturation      *SaturationStats `json:"saturation,omitempty"`
+	SLO             *SLOStatus       `json:"slo,omitempty"`
 }
 
 // APIError is the JSON error envelope every non-2xx reply carries.

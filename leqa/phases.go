@@ -48,6 +48,26 @@ func SetPhaseObserver(fn PhaseObserver) {
 	phaseObserver.Store(&fn)
 }
 
+// TeePhaseObservers fans each phase report out to every non-nil observer in
+// order — the composition hook for callers that feed one phase stream into
+// several sinks (leqad tees cumulative histograms and sliding windows).
+func TeePhaseObservers(obs ...PhaseObserver) PhaseObserver {
+	live := make([]PhaseObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func(phase string, d time.Duration) {
+		for _, o := range live {
+			o(phase, d)
+		}
+	}
+}
+
 // ObservePhase feeds one finished phase to the registered observer — the
 // hook for callers that run a pipeline phase outside the Runner, such as
 // leqad resolving a circuit spec (its ingest phase) before estimation.
